@@ -1,0 +1,115 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (SV) over the simulator, then runs Bechamel
+   wall-clock micro-benchmarks of the interpreter executing the baseline
+   and versioned programs — one Bechamel test pair per paper table, as a
+   sanity check that the cost model's direction agrees with real time.
+
+   Usage:
+     dune exec bench/main.exe               # everything
+     dune exec bench/main.exe -- fig16      # one table
+     dune exec bench/main.exe -- wallclock  # Bechamel timings only
+*)
+
+module E = Fgv_bench.Experiments
+module W = Fgv_bench.Workload
+open Fgv_pssa
+
+let section title body =
+  Printf.printf "==============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==============================================================\n%!";
+  print_string body;
+  print_newline ()
+
+(* --------------------------------------------------- bechamel timings *)
+
+(* Compile + optimize once; the timed thunk only interprets. *)
+let prepared (config : W.config) (k : W.kernel) =
+  let f = W.compile_for config k in
+  ignore (config.W.c_apply f);
+  let args = k.W.k_args in
+  fun () -> ignore (Interp.run f ~args ~mem:(W.fresh_mem k))
+
+let wallclock_tests () =
+  let pick name kernels = List.find (fun k -> k.W.k_name = name) kernels in
+  let tsvc_k = pick "s131" Fgv_bench.Tsvc.kernels in
+  let poly_k = pick "floyd-warshall" Fgv_bench.Polybench.kernels in
+  let spec_k = pick "lbm_r" Fgv_bench.Specfp.kernels in
+  [
+    (* Fig. 19 representative: TSVC s131 (symbolic dependence distance) *)
+    ("fig19/s131-O3", prepared (W.llvm_o3 ()) tsvc_k);
+    ("fig19/s131-SV+V", prepared (W.sv_versioning ()) tsvc_k);
+    (* Fig. 16 representative: floyd-warshall without restrict *)
+    ("fig16/fw-O3", prepared (W.llvm_o3 ~restrict:false ()) poly_k);
+    ("fig16/fw-SV+V", prepared (W.sv_versioning ~restrict:false ()) poly_k);
+    (* Fig. 22 representative: the lbm surrogate, RLE off/on *)
+    ( "fig22/lbm-base",
+      prepared (W.cfg "rle-base" (fun f -> Fgv_passes.Pipelines.rle_baseline f)) spec_k );
+    ( "fig22/lbm-RLE",
+      prepared (W.cfg "rle" (fun f -> Fgv_passes.Pipelines.rle_pipeline f)) spec_k );
+  ]
+
+let wallclock () =
+  let open Bechamel in
+  let tests =
+    List.map
+      (fun (name, thunk) -> Test.make ~name (Staged.stage thunk))
+      (wallclock_tests ())
+  in
+  let grouped = Test.make_grouped ~name:"fgv" ~fmt:"%s/%s" tests in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  Printf.printf "Bechamel wall-clock (monotonic ns per interpreter run)\n";
+  Printf.printf "%-24s %14s\n" "benchmark" "ns/run";
+  Printf.printf "---------------------------------------\n";
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ x ] -> Printf.sprintf "%14.0f" x
+        | _ -> "?"
+      in
+      Printf.printf "%-24s %s\n" name est)
+    results;
+  print_newline ()
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let run_fig19 () = section "E2 / Fig. 19 (TSVC)" (E.fig19 ()) in
+  let run_fig16 () = section "E1 / Fig. 16 (PolyBench)" (E.fig16 ()) in
+  let run_fig22 () = section "E5 / Fig. 22 (SPEC FP surrogates, RLE)" (E.fig22 ()) in
+  let run_s258 () = section "E4 / s258 speculation" (E.s258_speculation ()) in
+  let run_a1 () = section "A1 / min-cut ablation" (E.ablation_mincut ()) in
+  let run_a2 () =
+    section "A2 / condition-optimization ablation" (E.ablation_condopt ())
+  in
+  match what with
+  | "fig19" | "tsvc" -> run_fig19 ()
+  | "fig16" | "polybench" -> run_fig16 ()
+  | "fig22" | "rle" | "specfp" -> run_fig22 ()
+  | "s258" -> run_s258 ()
+  | "ablation-mincut" -> run_a1 ()
+  | "ablation-condopt" -> run_a2 ()
+  | "wallclock" -> wallclock ()
+  | "all" ->
+    run_fig19 ();
+    run_fig16 ();
+    run_fig22 ();
+    run_s258 ();
+    run_a1 ();
+    run_a2 ();
+    section "Wall-clock sanity (Bechamel)" "";
+    wallclock ()
+  | other ->
+    Printf.eprintf
+      "unknown table %s (try: fig16 fig19 fig22 s258 ablation-mincut \
+       ablation-condopt wallclock all)\n"
+      other;
+    exit 1

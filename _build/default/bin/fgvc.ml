@@ -1,0 +1,111 @@
+(* fgvc — the mini-C kernel compiler driver.
+
+   Compiles a kernel to predicated SSA, optionally applies one of the
+   standard pipelines, and can print the PSSA, print the lowered CFG, or
+   interpret the result with the cost model.
+
+     fgvc kernel.c -p sv+v --dump-ir --run -a 0,64,16 --heap 256
+*)
+
+open Cmdliner
+open Fgv_pssa
+module P = Fgv_passes
+
+let pipelines : (string * (Ir.func -> unit)) list =
+  [
+    ("none", fun _ -> ());
+    ("o3-novec", fun f -> ignore (P.Pipelines.o3_novec f));
+    ("o3", fun f -> ignore (P.Pipelines.o3 f));
+    ("sv", fun f -> ignore (P.Pipelines.sv f));
+    ("sv+v", fun f -> ignore (P.Pipelines.sv_versioning f));
+    ("rle", fun f -> ignore (P.Pipelines.rle_pipeline f));
+    ("rle-static", fun f -> ignore (P.Pipelines.rle_pipeline ~versioning:false f));
+  ]
+
+let run_driver file pipeline dump_ir dump_cfg run args heap no_restrict =
+  let source =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let f =
+    if no_restrict then Fgv_frontend.Lower_ast.compile_no_restrict source
+    else Fgv_frontend.Lower_ast.compile source
+  in
+  let apply =
+    match List.assoc_opt pipeline pipelines with
+    | Some p -> p
+    | None ->
+      Printf.eprintf "unknown pipeline %s (one of: %s)\n" pipeline
+        (String.concat ", " (List.map fst pipelines));
+      exit 2
+  in
+  apply f;
+  (match Verifier.verify_or_message f with
+  | None -> ()
+  | Some m ->
+    Printf.eprintf "internal error: optimized IR is ill-formed: %s\n" m;
+    exit 3);
+  if dump_ir then Printer.print f;
+  if dump_cfg then print_string (Fgv_cfg.Cir.to_string (Fgv_cfg.Lower.lower f));
+  if run then begin
+    let argv =
+      if args = "" then []
+      else
+        List.map
+          (fun s ->
+            let s = String.trim s in
+            match float_of_string_opt s with
+            | Some x when String.contains s '.' -> Value.VFloat x
+            | _ -> Value.VInt (int_of_string s))
+          (String.split_on_char ',' args)
+    in
+    let mem = Array.init heap (fun i -> Value.VFloat (Float.of_int (i mod 7))) in
+    let out = Interp.run f ~args:argv ~mem in
+    let c = out.Interp.counters in
+    Printf.printf
+      "cost=%.0f  ops=%d vops=%d loads=%d vloads=%d stores=%d vstores=%d \
+       calls=%d iterations=%d\n"
+      (Interp.cost c) c.Interp.scalar_ops c.Interp.vector_ops c.Interp.loads
+      c.Interp.vector_loads c.Interp.stores c.Interp.vector_stores
+      c.Interp.calls c.Interp.iterations
+  end;
+  0
+
+let file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"mini-C kernel file")
+
+let pipeline =
+  Arg.(value & opt string "none" & info [ "p"; "pipeline" ] ~docv:"PIPE"
+         ~doc:"optimization pipeline: none, o3-novec, o3, sv, sv+v, rle, rle-static")
+
+let dump_ir =
+  Arg.(value & flag & info [ "dump-ir" ] ~doc:"print the predicated SSA")
+
+let dump_cfg =
+  Arg.(value & flag & info [ "dump-cfg" ] ~doc:"print the lowered CFG SSA")
+
+let run_flag = Arg.(value & flag & info [ "run" ] ~doc:"interpret the kernel")
+
+let args_opt =
+  Arg.(value & opt string "" & info [ "a"; "args" ] ~docv:"ARGS"
+         ~doc:"comma-separated arguments (ints are addresses/ints, values \
+               with a dot are floats)")
+
+let heap_opt =
+  Arg.(value & opt int 1024 & info [ "heap" ] ~docv:"CELLS" ~doc:"heap size in cells")
+
+let no_restrict =
+  Arg.(value & flag & info [ "no-restrict" ] ~doc:"ignore restrict qualifiers")
+
+let cmd =
+  let doc = "compile and run mini-C kernels with fine-grained program versioning" in
+  Cmd.v
+    (Cmd.info "fgvc" ~doc)
+    Term.(
+      const run_driver $ file $ pipeline $ dump_ir $ dump_cfg $ run_flag
+      $ args_opt $ heap_opt $ no_restrict)
+
+let () = exit (Cmd.eval' cmd)

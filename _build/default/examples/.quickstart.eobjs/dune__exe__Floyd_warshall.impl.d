@@ -1,0 +1,1 @@
+examples/floyd_warshall.ml: Array Fgv_frontend Fgv_passes Fgv_pssa Float Interp List Printf Value

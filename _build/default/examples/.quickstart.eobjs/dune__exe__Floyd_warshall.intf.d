@@ -1,0 +1,1 @@
+examples/floyd_warshall.mli:

@@ -1,0 +1,1 @@
+examples/nested_versioning.ml: Array Fgv_frontend Fgv_pssa Fgv_versioning Float Interp Ir List Printf Value Verifier

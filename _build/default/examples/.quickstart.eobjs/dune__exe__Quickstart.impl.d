@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Fgv_cfg Fgv_frontend Fgv_pssa Fgv_versioning Interp Ir List Printer Printf Value

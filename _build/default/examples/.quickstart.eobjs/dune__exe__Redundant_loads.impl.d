@@ -1,0 +1,1 @@
+examples/redundant_loads.ml: Array Fgv_frontend Fgv_passes Fgv_pssa Float Interp Printf Value

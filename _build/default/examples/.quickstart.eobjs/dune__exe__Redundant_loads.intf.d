@@ -1,0 +1,1 @@
+examples/redundant_loads.mli:

@@ -1,0 +1,1 @@
+lib/analysis/alias.ml: Fgv_pssa Ir Linexp List Scev

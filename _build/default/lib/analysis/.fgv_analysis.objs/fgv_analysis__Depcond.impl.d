@@ -1,0 +1,1 @@
+lib/analysis/depcond.ml: Alias Fgv_pssa Hashtbl Ir List Pred Printf Scev

@@ -1,0 +1,1 @@
+lib/analysis/depcond.mli: Fgv_pssa Hashtbl Ir Pred Scev

@@ -1,0 +1,1 @@
+lib/analysis/depgraph.ml: Array Buffer Depcond Fgv_pssa Hashtbl Ir List Printer Printf Scev String

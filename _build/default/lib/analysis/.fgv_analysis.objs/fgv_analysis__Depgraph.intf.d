@@ -1,0 +1,1 @@
+lib/analysis/depgraph.mli: Depcond Fgv_pssa Hashtbl Ir Scev

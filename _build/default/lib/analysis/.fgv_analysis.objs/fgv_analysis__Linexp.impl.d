@@ -1,0 +1,1 @@
+lib/analysis/linexp.ml: Fgv_pssa Hashtbl Ir List Option Printf String

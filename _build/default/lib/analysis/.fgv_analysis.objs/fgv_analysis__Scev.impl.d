@@ -1,0 +1,1 @@
+lib/analysis/scev.ml: Fgv_pssa Hashtbl Ir Linexp List Option Pred Printf

@@ -1,0 +1,50 @@
+(* Static disambiguation of address ranges.
+
+   Two levers, mirroring what a production compiler has:
+   - constant-difference reasoning on linear address expressions (same
+     base, different offsets);
+   - [restrict]-qualified pointer parameters, which are promised to point
+     into distinct allocations.
+
+   Everything else is [Unknown], which the versioning framework turns
+   into a run-time intersection check. *)
+
+open Fgv_pssa
+
+type relation = Disjoint | Overlap | Unknown
+
+(* The single restrict-qualified parameter a range is based on, if any. *)
+let restrict_base (f : Ir.func) (r : Scev.range) : Ir.value_id option =
+  let arg_terms =
+    List.filter
+      (fun (v, _) ->
+        match (Ir.inst f v).kind with
+        | Arg n -> List.mem n f.restrict_args
+        | _ -> false)
+      (Linexp.terms r.lo)
+  in
+  match arg_terms with
+  | [ (v, 1) ] -> Some v
+  | _ -> None
+
+let range_mentions (r : Scev.range) v =
+  Linexp.mentions r.lo v || Linexp.mentions r.hi v
+
+(* Relation between two half-open ranges [lo, hi). *)
+let relate (f : Ir.func) (r1 : Scev.range) (r2 : Scev.range) : relation =
+  if Linexp.equal r1.lo r2.lo && Linexp.equal r1.hi r2.hi then
+    (* identical symbolic ranges (e.g. the whole-array window of an
+       in-place loop compared with itself): definitely overlapping *)
+    Overlap
+  else
+  let d12 = Linexp.diff r1.hi r2.lo in
+  let d21 = Linexp.diff r2.hi r1.lo in
+  match d12, d21 with
+  | Some d, _ when d <= 0 -> Disjoint
+  | _, Some d when d <= 0 -> Disjoint
+  | Some _, Some _ -> Overlap
+  | _ -> (
+    match restrict_base f r1, restrict_base f r2 with
+    | Some p, _ when not (range_mentions r2 p) -> Disjoint
+    | _, Some q when not (range_mentions r1 q) -> Disjoint
+    | _ -> Unknown)

@@ -1,0 +1,18 @@
+(** Static disambiguation of address ranges: constant-difference
+    reasoning on linear address expressions, plus [restrict]-qualified
+    pointer parameters (promised to address distinct allocations). *)
+
+open Fgv_pssa
+
+type relation =
+  | Disjoint  (** proven never to overlap *)
+  | Overlap  (** proven to overlap (assuming both are nonempty) *)
+  | Unknown  (** cannot tell statically: a run-time check candidate *)
+
+val restrict_base : Ir.func -> Scev.range -> Ir.value_id option
+(** The single restrict-qualified parameter the range is based on. *)
+
+val range_mentions : Scev.range -> Ir.value_id -> bool
+
+val relate : Ir.func -> Scev.range -> Scev.range -> relation
+(** Relation between two half-open ranges [lo, hi). *)

@@ -1,0 +1,60 @@
+(** Dependence conditions (Fig. 5 and Fig. 6 of the paper): the necessary
+    condition under which one node *directly* depends on another. *)
+
+open Fgv_pssa
+
+type atom =
+  | Apred of Pred.t
+      (** the dependence exists only if this control predicate holds
+          (i.e. the earlier instruction actually executes) *)
+  | Aintersect of Scev.range * Scev.range
+      (** the dependence exists only if the two memory ranges overlap *)
+
+type cond =
+  | Never  (** no dependence *)
+  | Always  (** unconditional: SSA use, proven overlap, opaque call *)
+  | When of atom list  (** dependence iff any atom holds (a disjunction) *)
+
+val atom_operands : atom -> Ir.value_id list
+(** Values a run-time check of the atom would read (Fig. 13 l.14). *)
+
+val cond_operands : cond -> Ir.value_id list
+
+val atom_to_string : Scev.t -> atom -> string
+
+val join : cond -> cond -> cond
+(** Disjunction of two condition results. *)
+
+type ctx = {
+  cf : Ir.func;
+  cscev : Scev.t;
+  cregion : Ir.region;
+  ceff : Ir.value_id -> Pred.t;
+      (** effective predicates (own pred ∧ enclosing loop guards) *)
+  under : (Ir.loop_id, unit) Hashtbl.t;
+      (** loops nested under the region (member ranges promote out of
+          these) *)
+  def_item : (Ir.value_id, Ir.node) Hashtbl.t;
+      (** region-level item defining each value *)
+}
+
+val make_ctx : Ir.func -> Scev.t -> Ir.region -> ctx
+
+val def_item : ctx -> Ir.value_id -> Ir.node option
+
+val region_range : ctx -> Ir.value_id -> Scev.range option
+(** Memory range of an access, promoted to region level; [None] means all
+    of memory (opaque call / failed promotion). *)
+
+val mem_insts : ctx -> Ir.node -> Ir.value_id list
+(** Fig. 6's [mem_instructions]: the node's memory accesses. *)
+
+val free_values : ctx -> Ir.node -> Ir.value_id list
+(** Values the node reads but does not define (register inputs). *)
+
+val reads_from : ctx -> Ir.node -> Ir.node -> bool
+(** Does node i read a value defined by node j? *)
+
+val compute : ctx -> Ir.node -> Ir.node -> cond
+(** Fig. 6's [c(i, j)]: the condition for [i] (later in program order) to
+    directly depend on [j]. *)

@@ -1,0 +1,112 @@
+(* The labeled dependence graph over the items of one region (Fig. 7).
+
+   Nodes are the region's items in program order (a nested loop is one
+   node).  An edge i -> j means "i depends on j" (j precedes i) and
+   carries its dependence condition; conditional edges are exactly the
+   ones a versioning cut may sever. *)
+
+open Fgv_pssa
+
+type edge = {
+  e_id : int; (* dense id, used as the max-flow tag *)
+  e_src : int; (* node index: the dependent (later) node *)
+  e_dst : int; (* node index: the dependee (earlier) node *)
+  e_cond : Depcond.atom list option; (* None = unconditional *)
+}
+
+type t = {
+  g_ctx : Depcond.ctx;
+  nodes : Ir.node array; (* in program order *)
+  index : (Ir.node, int) Hashtbl.t;
+  mutable edges : edge array;
+}
+
+let node_index t n =
+  match Hashtbl.find_opt t.index n with
+  | Some i -> i
+  | None -> invalid_arg "Depgraph.node_index: node not in region"
+
+let build (f : Ir.func) (scev : Scev.t) (region : Ir.region) : t =
+  let ctx = Depcond.make_ctx f scev region in
+  let nodes =
+    Array.of_list (List.map Ir.node_of_item (Ir.region_items f region))
+  in
+  let index = Hashtbl.create (Array.length nodes) in
+  Array.iteri (fun k n -> Hashtbl.replace index n k) nodes;
+  let edges = ref [] in
+  let next_id = ref 0 in
+  let n = Array.length nodes in
+  for i = 1 to n - 1 do
+    for j = 0 to i - 1 do
+      match Depcond.compute ctx nodes.(i) nodes.(j) with
+      | Depcond.Never -> ()
+      | Depcond.Always ->
+        edges := { e_id = !next_id; e_src = i; e_dst = j; e_cond = None } :: !edges;
+        incr next_id
+      | Depcond.When atoms ->
+        edges :=
+          { e_id = !next_id; e_src = i; e_dst = j; e_cond = Some atoms } :: !edges;
+        incr next_id
+    done
+  done;
+  { g_ctx = ctx; nodes; index; edges = Array.of_list (List.rev !edges) }
+
+let edge_conditional e = e.e_cond <> None
+
+(* Successor lists along dependence direction (src -> dst), optionally
+   excluding a set of edges (by id). *)
+let dependence_succ t ~(excluded : int -> bool) =
+  let succ = Array.make (Array.length t.nodes) [] in
+  Array.iter
+    (fun e -> if not (excluded e.e_id) then succ.(e.e_src) <- e :: succ.(e.e_src))
+    t.edges;
+  succ
+
+(* Is any node of [targets] reachable from [sources] along dependence
+   edges, ignoring edges in [excluded]?  Used by tests and by clients to
+   ask "are these already independent". *)
+let depends_on t ~(excluded : int -> bool) (sources : int list)
+    (targets : int list) : bool =
+  let succ = dependence_succ t ~excluded in
+  let n = Array.length t.nodes in
+  let target = Array.make n false in
+  List.iter (fun i -> target.(i) <- true) targets;
+  let seen = Array.make n false in
+  let found = ref false in
+  (* a source only "reaches" a target through at least one edge, so the
+     DFS starts from the sources' dependence successors (this ignores the
+     trivial s -> s reachability the paper's footnote mentions) *)
+  let rec go v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      if target.(v) then found := true;
+      List.iter (fun e -> go e.e_dst) succ.(v)
+    end
+  in
+  List.iter (fun s -> List.iter (fun e -> go e.e_dst) succ.(s)) sources;
+  !found
+
+let to_string t =
+  let f = t.g_ctx.Depcond.cf in
+  let node_str n =
+    match n with
+    | Ir.NI v -> Printer.string_of_inst f (Ir.inst f v)
+    | Ir.NL l -> Printf.sprintf "loop L%d" l
+  in
+  let buf = Buffer.create 512 in
+  Array.iteri
+    (fun k n -> Buffer.add_string buf (Printf.sprintf "node %d: %s\n" k (node_str n)))
+    t.nodes;
+  Array.iter
+    (fun e ->
+      let label =
+        match e.e_cond with
+        | None -> "always"
+        | Some atoms ->
+          String.concat " \\/ "
+            (List.map (Depcond.atom_to_string t.g_ctx.Depcond.cscev) atoms)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %d -> %d [%s]\n" e.e_src e.e_dst label))
+    t.edges;
+  Buffer.contents buf

@@ -1,0 +1,67 @@
+(* Linear integer expressions over SSA values:  Σ coeff_i * v_i + konst.
+
+   Used to represent memory addresses and range bounds symbolically.  Two
+   addresses whose difference reduces to a constant can be disambiguated
+   statically; everything else becomes a run-time intersection check. *)
+
+open Fgv_pssa
+
+type t = { terms : (Ir.value_id * int) list; konst : int }
+(* terms sorted by value id, no zero coefficients *)
+
+let norm terms =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (v, k) ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt tbl v) in
+      Hashtbl.replace tbl v (cur + k))
+    terms;
+  Hashtbl.fold (fun v k acc -> if k = 0 then acc else (v, k) :: acc) tbl []
+  |> List.sort compare
+
+let make terms konst = { terms = norm terms; konst }
+let const k = { terms = []; konst = k }
+let of_value v = { terms = [ (v, 1) ]; konst = 0 }
+let is_const e = e.terms = []
+
+let add a b = make (a.terms @ b.terms) (a.konst + b.konst)
+
+let scale k e =
+  if k = 0 then const 0
+  else { terms = List.map (fun (v, c) -> (v, c * k)) e.terms; konst = e.konst * k }
+
+let sub a b = add a (scale (-1) b)
+let add_const k e = { e with konst = e.konst + k }
+let equal a b = a.terms = b.terms && a.konst = b.konst
+
+(* [diff a b] is [Some k] when a - b is the constant k. *)
+let diff a b =
+  let d = sub a b in
+  if is_const d then Some d.konst else None
+
+let terms e = e.terms
+let constant e = e.konst
+
+(* Substitute a value with a linear expression. *)
+let subst v e repl =
+  match List.assoc_opt v e.terms with
+  | None -> e
+  | Some k ->
+    let rest = List.filter (fun (w, _) -> w <> v) e.terms in
+    add { terms = rest; konst = e.konst } (scale k repl)
+
+let mentions e v = List.mem_assoc v e.terms
+
+let values e = List.map fst e.terms
+
+let to_string name e =
+  let parts =
+    List.map
+      (fun (v, k) ->
+        if k = 1 then name v
+        else if k = -1 then "-" ^ name v
+        else Printf.sprintf "%d*%s" k (name v))
+      e.terms
+  in
+  let parts = if e.konst <> 0 || parts = [] then parts @ [ string_of_int e.konst ] else parts in
+  String.concat " + " parts

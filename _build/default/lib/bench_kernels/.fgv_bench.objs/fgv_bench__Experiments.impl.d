@@ -1,0 +1,1 @@
+lib/bench_kernels/experiments.ml: Array Depgraph Fgv_analysis Fgv_frontend Fgv_passes Fgv_pssa Fgv_support Fgv_versioning Float Interp Ir List Polybench Printf Scev Specfp Tsvc Value Workload

@@ -1,0 +1,1 @@
+lib/bench_kernels/polybench.ml: Fgv_pssa Printf String Value Workload

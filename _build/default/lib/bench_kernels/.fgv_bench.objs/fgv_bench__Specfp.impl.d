@@ -1,0 +1,1 @@
+lib/bench_kernels/specfp.ml: Fgv_pssa List Printf Value Workload

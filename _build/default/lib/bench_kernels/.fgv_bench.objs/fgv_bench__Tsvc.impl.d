@@ -1,0 +1,1 @@
+lib/bench_kernels/tsvc.ml: Fgv_pssa List Printf String Value Workload

@@ -1,0 +1,1 @@
+lib/bench_kernels/workload.ml: Array Fgv_cfg Fgv_frontend Fgv_passes Fgv_pssa Float Interp Ir List Printf Value Verifier

@@ -1,0 +1,372 @@
+(* PolyBench/C kernels in mini-C (linearized indexing), for the Fig. 16
+   experiment.  Sources carry restrict qualifiers; the harness compiles
+   each kernel twice — honouring them ("restrict on") or stripping them
+   ("restrict off", the configuration where LLVM must assume all arrays
+   alias).
+
+   Includes all five kernels the paper singles out as vectorizable only
+   with fine-grained versioning (correlation, covariance,
+   floyd-warshall, lu, ludcmp — triangular iteration spaces and in-place
+   updates). *)
+
+open Fgv_pssa
+
+let n = 12 (* matrix dimension *)
+let mat = n * n
+
+(* base addresses for up to five matrices and four vectors *)
+let m1 = 0
+let m2 = mat
+let m3 = 2 * mat
+let m4 = 3 * mat
+let v1 = 4 * mat
+let v2 = (4 * mat) + n
+let v3 = (4 * mat) + (2 * n)
+let v4 = (4 * mat) + (3 * n)
+let v5 = (4 * mat) + (4 * n)
+let heap = (4 * mat) + (8 * n)
+
+let vint x = Value.VInt x
+
+let mk ?(note = "") name ~params ~args body =
+  let ident = String.map (fun c -> if c = '-' then '_' else c) name in
+  let ident = if ident.[0] >= '0' && ident.[0] <= '9' then "k" ^ ident else ident in
+  Workload.mk ~name
+    ~source:(Printf.sprintf "kernel %s(%s) {\n%s\n}" ident params body)
+    ~args ~heap ~note ()
+
+let kernels : Workload.kernel list =
+  [
+    mk "gemm" ~note:"dense matmul"
+      ~params:
+        "float* restrict cm, float* restrict am, float* restrict bm, int n"
+      ~args:[ vint m1; vint m2; vint m3; vint n ]
+      {|
+      for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+          cm[i * n + j] = cm[i * n + j] * 1.2;
+        }
+        for (int kk = 0; kk < n; kk = kk + 1) {
+          for (int j = 0; j < n; j = j + 1) {
+            cm[i * n + j] = cm[i * n + j] + 1.5 * am[i * n + kk] * bm[kk * n + j];
+          }
+        }
+      }
+    |};
+    mk "atax" ~note:"A^T (A x)"
+      ~params:
+        "float* restrict am, float* restrict x, float* restrict y, float* restrict tmp, int n"
+      ~args:[ vint m1; vint v1; vint v2; vint v3; vint n ]
+      {|
+      for (int i = 0; i < n; i = i + 1) { y[i] = 0.0; }
+      for (int i = 0; i < n; i = i + 1) {
+        float t = 0.0;
+        for (int j = 0; j < n; j = j + 1) { t = t + am[i * n + j] * x[j]; }
+        tmp[i] = t;
+        for (int j = 0; j < n; j = j + 1) {
+          y[j] = y[j] + am[i * n + j] * t;
+        }
+      }
+    |};
+    mk "bicg" ~note:"BiCG kernel"
+      ~params:
+        "float* restrict am, float* restrict s, float* restrict q, float* restrict p, float* restrict r, int n"
+      ~args:[ vint m1; vint v1; vint v2; vint v3; vint v4; vint n ]
+      {|
+      for (int i = 0; i < n; i = i + 1) { s[i] = 0.0; }
+      for (int i = 0; i < n; i = i + 1) {
+        float t = 0.0;
+        for (int j = 0; j < n; j = j + 1) {
+          s[j] = s[j] + r[i] * am[i * n + j];
+          t = t + am[i * n + j] * p[j];
+        }
+        q[i] = t;
+      }
+    |};
+    mk "mvt" ~note:"two mat-vec products"
+      ~params:
+        "float* restrict am, float* restrict x1, float* restrict x2, float* restrict y1, float* restrict y2, int n"
+      ~args:[ vint m1; vint v1; vint v2; vint v3; vint v4; vint n ]
+      {|
+      for (int i = 0; i < n; i = i + 1) {
+        float t = x1[i];
+        for (int j = 0; j < n; j = j + 1) { t = t + am[i * n + j] * y1[j]; }
+        x1[i] = t;
+      }
+      for (int i = 0; i < n; i = i + 1) {
+        float t = x2[i];
+        for (int j = 0; j < n; j = j + 1) { t = t + am[j * n + i] * y2[j]; }
+        x2[i] = t;
+      }
+    |};
+    mk "gesummv" ~note:"summed mat-vec"
+      ~params:
+        "float* restrict am, float* restrict bm, float* restrict x, float* restrict y, float* restrict tmp, int n"
+      ~args:[ vint m1; vint m2; vint v1; vint v2; vint v3; vint n ]
+      {|
+      for (int i = 0; i < n; i = i + 1) {
+        float t1 = 0.0;
+        float t2 = 0.0;
+        for (int j = 0; j < n; j = j + 1) {
+          t1 = t1 + am[i * n + j] * x[j];
+          t2 = t2 + bm[i * n + j] * x[j];
+        }
+        tmp[i] = t1;
+        y[i] = 1.3 * t1 + 2.4 * t2;
+      }
+    |};
+    mk "gemver" ~note:"vector multiple updates"
+      ~params:
+        "float* restrict am, float* restrict u1, float* restrict u2, float* restrict v1, float* restrict v2, float* restrict x, float* restrict y, float* restrict w, float* restrict z, int n"
+      ~args:
+        [ vint m1; vint v1; vint v2; vint v3; vint v4; vint v5;
+          vint (v5 + n); vint (v5 + (2 * n)); vint (v5 + (3 * n)); vint n ]
+      {|
+      for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+          am[i * n + j] = am[i * n + j] + u1[i] * v1[j] + u2[i] * v2[j];
+        }
+      }
+      for (int i = 0; i < n; i = i + 1) {
+        float t = x[i];
+        for (int j = 0; j < n; j = j + 1) { t = t + 1.1 * am[j * n + i] * y[j]; }
+        x[i] = t + z[i];
+      }
+      for (int i = 0; i < n; i = i + 1) {
+        float t = w[i];
+        for (int j = 0; j < n; j = j + 1) { t = t + 1.2 * am[i * n + j] * x[j]; }
+        w[i] = t;
+      }
+    |};
+    mk "jacobi-1d" ~note:"1-D stencil, two steps"
+      ~params:"float* restrict ax, float* restrict bx, int n"
+      ~args:[ vint v1; vint v2; vint n ]
+      {|
+      for (int t = 0; t < 4; t = t + 1) {
+        for (int i = 1; i < n - 1; i = i + 1) {
+          bx[i] = 0.33333 * (ax[i - 1] + ax[i] + ax[i + 1]);
+        }
+        for (int i = 1; i < n - 1; i = i + 1) {
+          ax[i] = 0.33333 * (bx[i - 1] + bx[i] + bx[i + 1]);
+        }
+      }
+    |};
+    mk "jacobi-2d" ~note:"2-D stencil"
+      ~params:"float* restrict am, float* restrict bm, int n"
+      ~args:[ vint m1; vint m2; vint n ]
+      {|
+      for (int t = 0; t < 2; t = t + 1) {
+        for (int i = 1; i < n - 1; i = i + 1) {
+          for (int j = 1; j < n - 1; j = j + 1) {
+            bm[i * n + j] = 0.2 * (am[i * n + j] + am[i * n + j - 1] + am[i * n + j + 1] + am[(i + 1) * n + j] + am[(i - 1) * n + j]);
+          }
+        }
+        for (int i = 1; i < n - 1; i = i + 1) {
+          for (int j = 1; j < n - 1; j = j + 1) {
+            am[i * n + j] = 0.2 * (bm[i * n + j] + bm[i * n + j - 1] + bm[i * n + j + 1] + bm[(i + 1) * n + j] + bm[(i - 1) * n + j]);
+          }
+        }
+      }
+    |};
+    mk "trisolv" ~note:"triangular solve (recurrence)"
+      ~params:
+        "float* restrict lm, float* restrict x, float* restrict bv, int n"
+      ~args:[ vint m1; vint v1; vint v2; vint n ]
+      {|
+      for (int i = 0; i < n; i = i + 1) {
+        float t = bv[i];
+        for (int j = 0; j < i; j = j + 1) { t = t - lm[i * n + j] * x[j]; }
+        x[i] = t / (lm[i * n + i] + 3.0);
+      }
+    |};
+    mk "2mm" ~note:"matmul chain"
+      ~params:
+        "float* restrict tmp, float* restrict am, float* restrict bm, float* restrict cm, float* restrict dm, int n"
+      ~args:[ vint m1; vint m2; vint m3; vint m4; vint v1; vint 8 ]
+      {|
+      for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+          float t = 0.0;
+          for (int kk = 0; kk < n; kk = kk + 1) {
+            t = t + 1.5 * am[i * n + kk] * bm[kk * n + j];
+          }
+          tmp[i * n + j] = t;
+        }
+      }
+      for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+          float t = dm[i * n + j] * 1.2;
+          for (int kk = 0; kk < n; kk = kk + 1) {
+            t = t + tmp[i * n + kk] * cm[kk * n + j];
+          }
+          dm[i * n + j] = t;
+        }
+      }
+    |};
+    mk "syrk" ~note:"symmetric rank-k update (triangular, in place)"
+      ~params:"float* restrict cm, float* restrict am, int n"
+      ~args:[ vint m1; vint m2; vint n ]
+      {|
+      for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j <= i; j = j + 1) {
+          cm[i * n + j] = cm[i * n + j] * 1.2;
+        }
+        for (int kk = 0; kk < n; kk = kk + 1) {
+          for (int j = 0; j <= i; j = j + 1) {
+            cm[i * n + j] = cm[i * n + j] + 1.5 * am[i * n + kk] * am[j * n + kk];
+          }
+        }
+      }
+    |};
+    mk "trmm" ~note:"triangular matmul, in place"
+      ~params:"float* restrict am, float* restrict bm, int n"
+      ~args:[ vint m1; vint m2; vint n ]
+      {|
+      for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+          float t = bm[i * n + j];
+          for (int kk = i + 1; kk < n; kk = kk + 1) {
+            t = t + am[kk * n + i] * bm[kk * n + j];
+          }
+          bm[i * n + j] = 1.5 * t;
+        }
+      }
+    |};
+    mk "doitgen" ~note:"multiresolution kernel"
+      ~params:"float* restrict aq, float* restrict c4, float* restrict sum, int n"
+      ~args:[ vint 0; vint 512; vint 576; vint 8 ]
+      {|
+      for (int r = 0; r < n; r = r + 1) {
+        for (int q = 0; q < n; q = q + 1) {
+          for (int pp = 0; pp < n; pp = pp + 1) {
+            float t = 0.0;
+            for (int s = 0; s < n; s = s + 1) {
+              t = t + aq[r * n * n + q * n + s] * c4[s * n + pp];
+            }
+            sum[pp] = t;
+          }
+          for (int pp = 0; pp < n; pp = pp + 1) {
+            aq[r * n * n + q * n + pp] = sum[pp];
+          }
+        }
+      }
+    |};
+    (* ------ the five kernels the paper names (SV-A2, Fig. 16) ------- *)
+    mk "floyd-warshall" ~note:"in-place shortest paths (paper Fig. 17)"
+      ~params:"float* restrict path, int n"
+      ~args:[ vint m1; vint n ]
+      {|
+      for (int kk = 0; kk < n; kk = kk + 1) {
+        for (int i = 0; i < n; i = i + 1) {
+          for (int j = 0; j < n; j = j + 1) {
+            float alt = path[i * n + kk] + path[kk * n + j];
+            path[i * n + j] = path[i * n + j] < alt ? path[i * n + j] : alt;
+          }
+        }
+      }
+    |};
+    mk "lu" ~note:"in-place triangular factorization"
+      ~params:"float* restrict am, int n"
+      ~args:[ vint m1; vint n ]
+      {|
+      for (int kk = 0; kk < n; kk = kk + 1) {
+        for (int j = kk + 1; j < n; j = j + 1) {
+          am[kk * n + j] = am[kk * n + j] / (am[kk * n + kk] + 5.0);
+        }
+        for (int i = kk + 1; i < n; i = i + 1) {
+          for (int j = kk + 1; j < n; j = j + 1) {
+            am[i * n + j] = am[i * n + j] - am[i * n + kk] * am[kk * n + j];
+          }
+        }
+      }
+    |};
+    mk "ludcmp" ~note:"LU with forward/backward substitution"
+      ~params:
+        "float* restrict am, float* restrict bv, float* restrict xv, float* restrict yv, int n"
+      ~args:[ vint m1; vint v1; vint v2; vint v3; vint n ]
+      {|
+      for (int kk = 0; kk < n; kk = kk + 1) {
+        for (int j = kk + 1; j < n; j = j + 1) {
+          am[kk * n + j] = am[kk * n + j] / (am[kk * n + kk] + 5.0);
+        }
+        for (int i = kk + 1; i < n; i = i + 1) {
+          for (int j = kk + 1; j < n; j = j + 1) {
+            am[i * n + j] = am[i * n + j] - am[i * n + kk] * am[kk * n + j];
+          }
+        }
+      }
+      for (int i = 0; i < n; i = i + 1) {
+        float t = bv[i];
+        for (int j = 0; j < i; j = j + 1) { t = t - am[i * n + j] * yv[j]; }
+        yv[i] = t;
+      }
+      for (int i = n - 1; i >= 0; i = i - 1) {
+        float t = yv[i];
+        for (int j = i + 1; j < n; j = j + 1) { t = t - am[i * n + j] * xv[j]; }
+        xv[i] = t / (am[i * n + i] + 5.0);
+      }
+    |};
+    mk "correlation" ~note:"in-place normalization + triangular"
+      ~params:
+        "float* restrict data, float* restrict corr, float* restrict mean, float* restrict stddev, int n"
+      ~args:[ vint m1; vint m2; vint v1; vint v2; vint n ]
+      {|
+      float fn = (float) n;
+      for (int j = 0; j < n; j = j + 1) {
+        float t = 0.0;
+        for (int i = 0; i < n; i = i + 1) { t = t + data[i * n + j]; }
+        mean[j] = t / fn;
+      }
+      for (int j = 0; j < n; j = j + 1) {
+        float t = 0.0;
+        for (int i = 0; i < n; i = i + 1) {
+          float dv = data[i * n + j] - mean[j];
+          t = t + dv * dv;
+        }
+        stddev[j] = sqrt(t / fn) + 0.1;
+      }
+      for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+          data[i * n + j] = (data[i * n + j] - mean[j]) / (sqrt(fn) * stddev[j]);
+        }
+      }
+      for (int i = 0; i < n; i = i + 1) {
+        corr[i * n + i] = 1.0;
+        for (int j = i + 1; j < n; j = j + 1) {
+          float t = 0.0;
+          for (int kk = 0; kk < n; kk = kk + 1) {
+            t = t + data[kk * n + i] * data[kk * n + j];
+          }
+          corr[i * n + j] = t;
+          corr[j * n + i] = t;
+        }
+      }
+    |};
+    mk "covariance" ~note:"in-place centering + triangular"
+      ~params:
+        "float* restrict data, float* restrict cov, float* restrict mean, int n"
+      ~args:[ vint m1; vint m2; vint v1; vint n ]
+      {|
+      float fn = (float) n;
+      for (int j = 0; j < n; j = j + 1) {
+        float t = 0.0;
+        for (int i = 0; i < n; i = i + 1) { t = t + data[i * n + j]; }
+        mean[j] = t / fn;
+      }
+      for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+          data[i * n + j] = data[i * n + j] - mean[j];
+        }
+      }
+      for (int i = 0; i < n; i = i + 1) {
+        for (int j = i; j < n; j = j + 1) {
+          float t = 0.0;
+          for (int kk = 0; kk < n; kk = kk + 1) {
+            t = t + data[kk * n + i] * data[kk * n + j];
+          }
+          cov[i * n + j] = t / (fn - 1.0);
+          cov[j * n + i] = t / (fn - 1.0);
+        }
+      }
+    |};
+  ]

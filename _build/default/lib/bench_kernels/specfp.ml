@@ -1,0 +1,129 @@
+(* SPEC 2017 FP surrogate kernels for the Fig. 22 experiment (versioned
+   redundant load elimination).
+
+   SPEC sources are proprietary, so each benchmark is replaced by a
+   synthetic kernel engineered to exhibit the redundant-load profile the
+   paper reports for it (DESIGN.md documents the substitution):
+
+   - lbm_r:     streaming stencil that reloads the same source cells many
+                times across possibly-aliasing stores (the paper measures
+                26% of loads eliminated, 6.4% speedup);
+   - blender_r: reloads whose elimination unlocks downstream GVN
+                (19% more GVN deletions in the paper);
+   - namd_r:    loop-invariant loads blocked by in-loop stores, which
+                RLE + LICM can hoist (50% more LICM hoists);
+   - parest_r / povray_r: few redundant loads guarded by wide check sets
+                (slight slowdowns in the paper: -0.5% / -1.7%);
+   - imagick_r: loads already provably independent (nothing to do);
+   - nab_r:     eliminations that roughly pay for their checks (0.0%). *)
+
+open Fgv_pssa
+
+let len = 64
+let a0 = 0
+let a1 = len
+let a2 = 2 * len
+let a3 = 3 * len
+let a4 = 4 * len
+let heap = 5 * len
+
+let vints xs = List.map (fun x -> Value.VInt x) xs
+
+let mk ?(note = "") name ~params ~args body =
+  Workload.mk ~name
+    ~source:(Printf.sprintf "kernel %s(%s) {\n%s\n}" name params body)
+    ~args ~heap ~note ()
+
+let kernels : Workload.kernel list =
+  [
+    mk "lbm_r" ~note:"streaming stencil, dense reloads"
+      ~params:"float* src, float* dst, int n"
+      ~args:(vints [ a0; a1; len ])
+      {|
+      for (int i = 1; i < n - 1; i = i + 1) {
+        float r1 = src[i];
+        dst[i] = r1 * 0.5;
+        float r2 = src[i];
+        dst[i] = dst[i] + r2 * 0.25;
+        float r3 = src[i];
+        dst[i] = dst[i] + r3 * 0.125;
+        float r4 = src[i];
+        dst[i] = dst[i] + r4 * 0.0625;
+        float r5 = src[i];
+        dst[i] = dst[i] + r5 * 0.03125;
+        float r6 = src[i];
+        dst[i] = dst[i] + r6 * 0.015625;
+      }
+    |};
+    mk "blender_r" ~note:"reloads feeding common subexpressions"
+      ~params:"float* px, float* out, int n"
+      ~args:(vints [ a0; a1; len ])
+      {|
+      for (int i = 0; i < n - 1; i = i + 1) {
+        float c1 = px[i] * 0.7 + 0.1;
+        out[i] = c1 * c1;
+        float c2 = px[i] * 0.7 + 0.1;
+        out[i] = out[i] + c2 * 2.0;
+        float c3 = px[i] * 0.7 + 0.1;
+        out[i] = out[i] + c3 * 3.0;
+      }
+    |};
+    mk "namd_r" ~note:"invariant loads blocked by in-loop stores"
+      ~params:"float* f, float* pos, float* acc, int n"
+      ~args:(vints [ a0; a1; a2; len ])
+      {|
+      for (int i = 0; i < n; i = i + 1) {
+        float q = pos[0];
+        acc[i] = acc[i] + q * f[i];
+        float q2 = pos[0];
+        acc[i] = acc[i] + q2 * q2;
+      }
+    |};
+    mk "parest_r" ~note:"few reloads, wide check set"
+      ~params:"float* m, float* r1v, float* r2v, float* r3v, int n"
+      ~args:(vints [ a0; a1; a2; a3; len ])
+      {|
+      for (int i = 0; i < n; i = i + 1) {
+        float x = m[i];
+        r1v[i] = x * 2.0;
+        r2v[i] = x * 3.0;
+        r3v[i] = x * 4.0;
+        float y = m[i];
+        r1v[i] = r1v[i] + y;
+      }
+    |};
+    mk "povray_r" ~note:"reload across many stores"
+      ~params:"float* scene, float* o1, float* o2, float* o3, float* o4, int n"
+      ~args:(vints [ a0; a1; a2; a3; a4; len ])
+      {|
+      for (int i = 0; i < n; i = i + 1) {
+        float t = scene[i];
+        o1[i] = t + 1.0;
+        o2[i] = t + 2.0;
+        o3[i] = t + 3.0;
+        o4[i] = t + 4.0;
+        float u = scene[i];
+        o1[i] = o1[i] * u;
+      }
+    |};
+    mk "imagick_r" ~note:"independent loads (nothing to eliminate)"
+      ~params:"float* img, float* out, int n"
+      ~args:(vints [ a0; a1; len ])
+      {|
+      for (int i = 1; i < n - 1; i = i + 1) {
+        float p = img[i - 1] + img[i] + img[i + 1];
+        out[i] = p * 0.3333;
+      }
+    |};
+    mk "nab_r" ~note:"eliminations that pay for their checks"
+      ~params:"float* xs, float* fs, int n"
+      ~args:(vints [ a0; a1; len ])
+      {|
+      for (int i = 0; i < n - 1; i = i + 1) {
+        float x = xs[i];
+        fs[i] = x * 1.5;
+        float y = xs[i];
+        fs[i + 1] = fs[i + 1] + y;
+      }
+    |};
+  ]

@@ -1,0 +1,285 @@
+(* TSVC kernels (Callahan, Dongarra & Levine) in mini-C, for the Fig. 19
+   experiment.  TSVC's arrays are global and therefore known disjoint; we
+   model that with restrict-qualified pointer parameters.  LEN is kept
+   small (the interpreter's cost model is scale-free).
+
+   The selection covers every behavioural class the paper discusses:
+   - plain vectorizable loops (the baseline handles them);
+   - loops whose dependencies are loop-variant or data-dependent, which
+     only fine-grained versioning vectorizes (s281, s1113, s131, ...);
+   - control-flow loops (if-converted);
+   - loops no one vectorizes (true recurrences, strided, reductions). *)
+
+open Fgv_pssa
+
+let len = 64
+
+(* array base addresses *)
+let a = 0
+let b = len
+let c = 2 * len
+let d = 3 * len
+let e = 4 * len
+let aa = 5 * len
+let heap = 6 * len
+
+let args5 extra =
+  List.map (fun n -> Value.VInt n) ([ a; b; c; d; e; aa ] @ extra)
+
+let std_params = "float* restrict a, float* restrict b, float* restrict c, float* restrict d, float* restrict e, float* restrict aa, int n"
+
+let k ?(extra = []) ?(note = "") name body =
+  Workload.mk ~name
+    ~source:(Printf.sprintf "kernel %s(%s%s) {\n%s\n}" name std_params
+               (String.concat ""
+                  (List.map (fun (p, _) -> ", int " ^ p) extra))
+               body)
+    ~args:(args5 (len :: List.map snd extra))
+    ~heap ~note ()
+
+let kernels : Workload.kernel list =
+  [
+    (* ------------------------- plain vectorizable ------------------- *)
+    k "s000" ~note:"clean elementwise"
+      {| for (int i = 0; i < n; i = i + 1) { a[i] = b[i] + 1.0; } |};
+    k "vpv" ~note:"clean elementwise"
+      {| for (int i = 0; i < n; i = i + 1) { a[i] = a[i] + b[i]; } |};
+    k "vtv" ~note:"clean elementwise"
+      {| for (int i = 0; i < n; i = i + 1) { a[i] = a[i] * b[i]; } |};
+    k "vpvtv" ~note:"clean elementwise"
+      {| for (int i = 0; i < n; i = i + 1) { a[i] = a[i] + b[i] * c[i]; } |};
+    k "s1251" ~note:"scalar expansion"
+      {| for (int i = 0; i < n; i = i + 1) {
+           float s = b[i] + c[i];
+           a[i] = s * s;
+         } |};
+    k "s121" ~note:"anti-dependence, distance 1"
+      {| for (int i = 0; i < n - 1; i = i + 1) { a[i] = a[i + 1] + b[i]; } |};
+    k "s112" ~note:"descending, write-after-read"
+      {| for (int i = n - 2; i >= 0; i = i - 1) { a[i + 1] = a[i] + b[i]; } |};
+    k "s241" ~note:"store-to-load forwarding"
+      {| for (int i = 0; i < n; i = i + 1) {
+           a[i] = b[i] * c[i];
+           d[i] = a[i] * e[i];
+         } |};
+    k "s243" ~note:"three statements"
+      {| for (int i = 0; i < n - 1; i = i + 1) {
+           a[i] = b[i] + c[i] * d[i];
+           b[i] = a[i] + d[i] * e[i];
+           a[i] = b[i] + a[i + 1] * d[i];
+         } |};
+    k "s2244" ~note:"two statements, distinct arrays"
+      {| for (int i = 0; i < n - 1; i = i + 1) {
+           a[i + 1] = b[i] + e[i];
+           a[i] = b[i] + c[i];
+         } |};
+    (* -------------------- need fine-grained versioning -------------- *)
+    k "s281" ~note:"crossing read (paper Fig. 20)"
+      {| for (int i = 0; i < n; i = i + 1) {
+           float x = a[n - i - 1] + b[i] * c[i];
+           a[i] = x - 1.0;
+           b[i] = x;
+         } |};
+    k "s1113" ~note:"read of a[n/2] conflicts mid-array"
+      {| for (int i = 0; i < n; i = i + 1) {
+           a[i] = a[n / 2] + b[i];
+         } |};
+    k "s131" ~extra:[ ("m", 1) ] ~note:"symbolic dependence distance"
+      {| for (int i = 0; i < n - 1; i = i + 1) {
+           a[i] = a[i + m] + b[i];
+         } |};
+    k "s151" ~extra:[ ("m", 1) ] ~note:"symbolic dependence distance"
+      {| for (int i = 0; i < n - 1; i = i + 1) {
+           a[i] = a[i + m] + b[i];
+           b[i] = b[i] + 1.0;
+         } |};
+    k "s162" ~extra:[ ("m", 1) ] ~note:"guarded symbolic distance"
+      {| if (m > 0) {
+           for (int i = 0; i < n - 1; i = i + 1) {
+             a[i] = a[i + m] + b[i];
+           }
+         } |};
+    k "s276" ~extra:[ ("m", 32) ] ~note:"crossing threshold"
+      {| for (int i = 0; i < n; i = i + 1) {
+           if (i < m) { a[i] = a[i] + b[i] * c[i]; }
+           else { a[i] = a[i] + b[i] * d[i]; }
+         } |};
+    (* -------------------------- control flow ------------------------ *)
+    k "vif" ~note:"conditional store"
+      {| for (int i = 0; i < n; i = i + 1) {
+           if (b[i] > 0.0) { a[i] = b[i]; }
+         } |};
+    k "s271" ~note:"conditional update"
+      {| for (int i = 0; i < n; i = i + 1) {
+           if (b[i] > 0.0) { a[i] = a[i] + b[i] * c[i]; }
+         } |};
+    k "s272" ~extra:[ ("t", 0) ] ~note:"two-sided conditional"
+      {| for (int i = 0; i < n; i = i + 1) {
+           if (e[i] >= (float) t) {
+             a[i] = a[i] + c[i] * d[i];
+             b[i] = b[i] + c[i] * c[i];
+           }
+         } |};
+    k "s273" ~note:"conditional with side computation"
+      {| for (int i = 0; i < n; i = i + 1) {
+           a[i] = a[i] + d[i] * e[i];
+           if (a[i] < 0.0) { b[i] = b[i] + d[i] * e[i]; }
+           c[i] = c[i] + a[i] * d[i];
+         } |};
+    k "s258" ~note:"speculative scalar (paper Fig. 21)"
+      {| float s = 0.0;
+         for (int i = 0; i < n; i = i + 1) {
+           if (a[i] > 0.0) { s = d[i] * d[i]; }
+           b[i] = s * c[i] + d[i];
+           e[i] = (s + 1.0) * aa[i];
+         } |};
+    k "s253" ~note:"conditional select chain"
+      {| for (int i = 0; i < n; i = i + 1) {
+           float s = a[i] > b[i] ? a[i] - b[i] * d[i] : c[i];
+           c[i] = s + d[i];
+           a[i] = s * s;
+         } |};
+    (* --------------------- not vectorizable by anyone --------------- *)
+    k "s111" ~note:"stride-2 loop"
+      {| for (int i = 1; i < n; i = i + 2) { a[i] = a[i - 1] + b[i]; } |};
+    k "s211" ~note:"loop-carried flow dependence"
+      {| for (int i = 1; i < n - 1; i = i + 1) {
+           a[i] = b[i - 1] + c[i] * d[i];
+           b[i] = b[i + 1] - e[i] * d[i];
+         } |};
+    k "s322" ~note:"second-order recurrence"
+      {| for (int i = 2; i < n; i = i + 1) {
+           a[i] = a[i] + a[i - 1] * b[i] + a[i - 2] * c[i];
+         } |};
+    k "s3111" ~note:"sum reduction"
+      {| float s = 0.0;
+         for (int i = 0; i < n; i = i + 1) {
+           if (a[i] > 0.0) { s = s + a[i]; }
+         }
+         b[0] = s; |};
+    k "s1112" ~note:"descending clean"
+      {| for (int i = n - 1; i >= 0; i = i - 1) {
+           a[i] = b[i] + 1.0;
+         } |};
+    (* ------------------------- more loop classes -------------------- *)
+    k "s113" ~note:"read of a[0] each iteration"
+      {| for (int i = 1; i < n; i = i + 1) { a[i] = a[0] + b[i]; } |};
+    k "s1115" ~note:"2-D in-place with transpose read"
+      {| for (int i = 0; i < 8; i = i + 1) {
+           for (int j = 0; j < 8; j = j + 1) {
+             aa[i * 8 + j] = aa[i * 8 + j] * aa[j * 8 + i] + b[j];
+           }
+         } |};
+    k "s116" ~note:"manually unrolled copy chain"
+      {| for (int i = 0; i < n - 5; i = i + 5) {
+           a[i] = a[i + 1] * a[i];
+           a[i + 1] = a[i + 2] * a[i + 1];
+           a[i + 2] = a[i + 3] * a[i + 2];
+           a[i + 3] = a[i + 4] * a[i + 3];
+           a[i + 4] = a[i + 5] * a[i + 4];
+         } |};
+    k "s1119" ~note:"2-D sum over rows"
+      {| for (int i = 1; i < 8; i = i + 1) {
+           for (int j = 0; j < 8; j = j + 1) {
+             aa[i * 8 + j] = aa[(i - 1) * 8 + j] + b[j];
+           }
+         } |};
+    k "s124" ~note:"if/else feeding one store"
+      {| for (int i = 0; i < n; i = i + 1) {
+           float t = 0.0;
+           if (b[i] > 0.0) { t = b[i] + d[i] * d[i]; }
+           else { t = c[i] + d[i] * e[i]; }
+           a[i] = t;
+         } |};
+    k "s125" ~note:"flattened 2-D elementwise"
+      {| for (int i = 0; i < 8; i = i + 1) {
+           for (int j = 0; j < 8; j = j + 1) {
+             c[8 * i + j] = aa[i * 8 + j] + aa[i * 8 + j] * d[j];
+           }
+         } |};
+    k "s173" ~note:"offset by symbolic half"
+      {| for (int i = 0; i < n / 2; i = i + 1) {
+           a[i + n / 2] = a[i] + b[i];
+         } |};
+    k "s174" ~extra:[ ("m", 32) ] ~note:"offset by parameter"
+      {| for (int i = 0; i < m; i = i + 1) {
+           a[i + m] = a[i] + b[i];
+         } |};
+    k "s175" ~note:"stride from parameter (here 1)"
+      {| for (int i = 0; i < n - 1; i = i + 1) {
+           a[i] = a[i + 1] + b[i];
+         } |};
+    k "s212" ~note:"write before read, distance 1"
+      {| for (int i = 0; i < n - 1; i = i + 1) {
+           a[i] = a[i] * c[i];
+           b[i] = a[i + 1] * d[i] + b[i];
+         } |};
+    k "s221" ~note:"partially vectorizable recurrence"
+      {| for (int i = 1; i < n; i = i + 1) {
+           a[i] = a[i] + c[i] * d[i];
+           b[i] = b[i - 1] + a[i] + d[i];
+         } |};
+    k "s222" ~note:"recurrence between two updates"
+      {| for (int i = 1; i < n; i = i + 1) {
+           a[i] = a[i] + b[i] * c[i];
+           e[i] = e[i - 1] * e[i - 1];
+           a[i] = a[i] - b[i] * c[i];
+         } |};
+    k "s231" ~note:"2-D column recurrence"
+      {| for (int i = 0; i < 8; i = i + 1) {
+           for (int j = 1; j < 8; j = j + 1) {
+             aa[j * 8 + i] = aa[(j - 1) * 8 + i] + b[j];
+           }
+         } |};
+    k "s235" ~note:"imperfect nest with column update"
+      {| for (int i = 0; i < 8; i = i + 1) {
+           a[i] = a[i] + b[i] * c[i];
+           for (int j = 1; j < 8; j = j + 1) {
+             aa[j * 8 + i] = aa[(j - 1) * 8 + i] + b[j] * a[i];
+           }
+         } |};
+    k "s242" ~extra:[ ("s1", 1); ("s2", 2) ] ~note:"scalar carried sum"
+      {| for (int i = 1; i < n; i = i + 1) {
+           a[i] = a[i - 1] + (float) s1 + (float) s2 + b[i] + c[i] + d[i];
+         } |};
+    k "s251" ~note:"scalar expansion chain"
+      {| for (int i = 0; i < n; i = i + 1) {
+           float s = b[i] + c[i] * d[i];
+           a[i] = s * s;
+         } |};
+    k "s261" ~note:"wrap-around scalar"
+      {| float t = b[0];
+         for (int i = 1; i < n; i = i + 1) {
+           a[i] = t + a[i];
+           t = c[i] * d[i];
+         } |};
+    k "s291" ~note:"wrap-around index"
+      {| int im1 = n - 1;
+         for (int i = 0; i < n; i = i + 1) {
+           a[i] = (b[i] + b[im1]) * 0.5;
+           im1 = i;
+         } |};
+    k "s293" ~note:"broadcast of element 0"
+      {| for (int i = 0; i < n; i = i + 1) { a[i] = a[0]; } |};
+    k "s311" ~note:"plain sum reduction"
+      {| float s = 0.0;
+         for (int i = 0; i < n; i = i + 1) { s = s + a[i]; }
+         b[0] = s; |};
+    k "s451" ~note:"mixed select and arithmetic"
+      {| for (int i = 0; i < n; i = i + 1) {
+           a[i] = (b[i] > c[i] ? b[i] : c[i]) + d[i];
+         } |};
+    k "s452" ~note:"induction in the value"
+      {| for (int i = 0; i < n; i = i + 1) {
+           a[i] = b[i] + c[i] * (float) (i + 1);
+         } |};
+    k "s471" ~extra:[ ("m", 16) ] ~note:"two stores, one strided by m"
+      {| for (int i = 0; i < m; i = i + 1) {
+           c[i + m] = b[i] + e[i];
+           a[i] = c[i] + b[i] * d[i];
+         } |};
+    k "va" ~note:"plain copy"
+      {| for (int i = 0; i < n; i = i + 1) { a[i] = b[i]; } |};
+    k "vag" ~note:"broadcast scalar multiply"
+      {| for (int i = 0; i < n; i = i + 1) { a[i] = b[i] * 2.5 + 1.0; } |};
+  ]

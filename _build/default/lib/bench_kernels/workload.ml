@@ -1,0 +1,114 @@
+(* Experiment harness: compiles benchmark kernels, applies optimization
+   pipelines, runs the interpreters, and reports cost-model speedups and
+   dynamic counters — the machinery behind the paper-shaped tables
+   (Fig. 16, Fig. 19, Fig. 22). *)
+
+open Fgv_pssa
+module P = Fgv_passes
+
+type kernel = {
+  k_name : string;
+  k_source : string; (* mini-C *)
+  k_args : Value.t list; (* heap addresses and scalars *)
+  k_heap : int; (* heap size in cells *)
+  k_init : int -> float; (* initial value of each cell *)
+  k_note : string; (* behavioural class, for the report *)
+}
+
+let mk ?(note = "") ~name ~source ~args ~heap ?(init = fun i ->
+    Float.of_int ((i * 17 mod 31) - 11) *. 0.125) () =
+  { k_name = name; k_source = source; k_args = args; k_heap = heap;
+    k_init = init; k_note = note }
+
+(* ------------------------------------------------------------- configs *)
+
+type config = {
+  c_name : string;
+  c_restrict : bool; (* honour restrict qualifiers in the source *)
+  c_apply : Ir.func -> P.Pipelines.pass_stats;
+}
+
+let cfg ?(restrict = true) name apply =
+  { c_name = name; c_restrict = restrict; c_apply = apply }
+
+let base_novec ?(restrict = true) () =
+  cfg ~restrict "O3-novec" (fun f -> P.Pipelines.o3_novec f)
+
+let llvm_o3 ?(restrict = true) () = cfg ~restrict "O3" (fun f -> P.Pipelines.o3 f)
+
+let sv ?(restrict = true) () = cfg ~restrict "SV" (fun f -> P.Pipelines.sv f)
+
+let sv_versioning ?(restrict = true) () =
+  cfg ~restrict "SV+V" (fun f -> P.Pipelines.sv_versioning f)
+
+(* --------------------------------------------------------------- runs *)
+
+type run_result = {
+  r_cost : float; (* architectural cost-model value *)
+  r_counters : Interp.counters;
+  r_branches : int; (* dynamic conditional branches (CFG interp) *)
+  r_code_size : int; (* static CFG instruction count *)
+  r_stats : P.Pipelines.pass_stats;
+  r_outcome : Interp.outcome;
+}
+
+exception Kernel_error of string * exn
+
+let compile_for (cfgn : config) (k : kernel) : Ir.func =
+  if cfgn.c_restrict then Fgv_frontend.Lower_ast.compile k.k_source
+  else Fgv_frontend.Lower_ast.compile_no_restrict k.k_source
+
+let fresh_mem k = Array.init k.k_heap (fun i -> Value.VFloat (k.k_init i))
+
+(* Apply a pipeline to a kernel and run it, collecting everything. *)
+let run_config ?(with_cfg = true) (cfgn : config) (k : kernel) : run_result =
+  try
+    let f = compile_for cfgn k in
+    let stats = cfgn.c_apply f in
+    (match Verifier.verify_or_message f with
+    | None -> ()
+    | Some m -> failwith ("ill-formed after " ^ cfgn.c_name ^ ": " ^ m));
+    let outcome = Interp.run f ~args:k.k_args ~mem:(fresh_mem k) in
+    let branches, code_size =
+      if with_cfg then begin
+        let prog = Fgv_cfg.Lower.lower f in
+        let c = Fgv_cfg.Cinterp.run prog ~args:k.k_args ~mem:(fresh_mem k) in
+        (c.Fgv_cfg.Cinterp.counters.branches, Fgv_cfg.Cir.static_size prog)
+      end
+      else (0, 0)
+    in
+    {
+      r_cost = Interp.cost outcome.counters;
+      r_counters = outcome.counters;
+      r_branches = branches;
+      r_code_size = code_size;
+      r_stats = stats;
+      r_outcome = outcome;
+    }
+  with e -> raise (Kernel_error (k.k_name ^ "/" ^ cfgn.c_name, e))
+
+(* Check that every configuration computes the same result as the
+   unoptimized program (the harness refuses to report wrong-code
+   "speedups"). *)
+let check_equivalence (k : kernel) (cfgs : config list) : unit =
+  let reference = Fgv_frontend.Lower_ast.compile_no_restrict k.k_source in
+  let ref_out = Interp.run reference ~args:k.k_args ~mem:(fresh_mem k) in
+  List.iter
+    (fun c ->
+      let f = compile_for c k in
+      ignore (c.c_apply f);
+      let out = Interp.run f ~args:k.k_args ~mem:(fresh_mem k) in
+      if not (Interp.equivalent ref_out out) then
+        failwith
+          (Printf.sprintf "%s/%s computes a different result!" k.k_name c.c_name))
+    cfgs
+
+(* Speedups of each config over the first config (the baseline). *)
+let speedups_over_baseline (k : kernel) (baseline : config) (cfgs : config list)
+    : (string * float) list =
+  let base = run_config ~with_cfg:false baseline k in
+  List.map
+    (fun c ->
+      let r = run_config ~with_cfg:false c k in
+      (c.c_name, base.r_cost /. r.r_cost))
+    cfgs

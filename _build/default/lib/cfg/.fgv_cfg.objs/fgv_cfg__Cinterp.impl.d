@@ -1,0 +1,1 @@
+lib/cfg/cinterp.ml: Array Cir Fgv_pssa Hashtbl Interp Ir List Option Value

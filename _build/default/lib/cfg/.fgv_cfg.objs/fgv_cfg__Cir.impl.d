@@ -1,0 +1,1 @@
+lib/cfg/cir.ml: Buffer Fgv_pssa Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/cfg/lower.ml: Cir Fgv_pssa Hashtbl Ir List Pred Printf

@@ -1,0 +1,126 @@
+(* A conventional CFG-based SSA IR: the target of the final lowering step
+   ("conversion back to SSA with control flow", Fig. 15c of the paper).
+   The CFG interpreter is the source of the dynamic branch counts that the
+   paper's Fig. 22 reports. *)
+
+type cvalue = int
+type block_id = int
+
+type ckind =
+  | KConst of Fgv_pssa.Ir.const
+  | KArg of int
+  | KBinop of Fgv_pssa.Ir.binop * cvalue * cvalue
+  | KCmp of Fgv_pssa.Ir.cmpop * cvalue * cvalue
+  | KCast of Fgv_pssa.Ir.ty * cvalue
+  | KNot of cvalue
+  | KSelect of cvalue * cvalue * cvalue
+  | KPhi of (block_id * cvalue) list
+  | KLoad of cvalue
+  | KStore of cvalue * cvalue
+  | KCall of string * cvalue list * Fgv_pssa.Ir.effect_kind
+  | KSplat of cvalue
+  | KVecbuild of cvalue list
+  | KExtract of cvalue * int
+
+type cinst = { cid : cvalue; mutable ck : ckind; cty : Fgv_pssa.Ir.ty }
+
+type term =
+  | Br of block_id
+  | CondBr of cvalue * block_id * block_id
+  | Ret
+
+type block = {
+  bid : block_id;
+  mutable insts : cinst list; (* in execution order *)
+  mutable term : term;
+}
+
+type prog = {
+  pname : string;
+  blocks : (block_id, block) Hashtbl.t;
+  mutable block_order : block_id list; (* creation order, for printing *)
+  mutable entry : block_id;
+  mutable next_value : int;
+  mutable next_block : int;
+}
+
+let create_prog name =
+  {
+    pname = name;
+    blocks = Hashtbl.create 16;
+    block_order = [];
+    entry = 0;
+    next_value = 0;
+    next_block = 0;
+  }
+
+let new_block p =
+  let bid = p.next_block in
+  p.next_block <- bid + 1;
+  let b = { bid; insts = []; term = Ret } in
+  Hashtbl.replace p.blocks bid b;
+  p.block_order <- bid :: p.block_order;
+  b
+
+let block p bid =
+  match Hashtbl.find_opt p.blocks bid with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Cir.block: unknown block b%d" bid)
+
+(* Append an instruction to a block, returning its value id. *)
+let emit p b ck cty =
+  let cid = p.next_value in
+  p.next_value <- cid + 1;
+  let i = { cid; ck; cty } in
+  b.insts <- b.insts @ [ i ];
+  cid
+
+let static_size p =
+  Hashtbl.fold (fun _ b acc -> acc + List.length b.insts + 1) p.blocks 0
+
+let string_of_ckind ck =
+  let open Fgv_pssa.Ir in
+  let v n = Printf.sprintf "%%%d" n in
+  match ck with
+  | KConst (Cint n) -> Printf.sprintf "const %d" n
+  | KConst (Cfloat x) -> Printf.sprintf "const %g" x
+  | KConst (Cbool b) -> Printf.sprintf "const %b" b
+  | KConst (Cundef _) -> "undef"
+  | KArg n -> Printf.sprintf "arg %d" n
+  | KBinop (op, a, b) -> Printf.sprintf "%s %s, %s" (string_of_binop op) (v a) (v b)
+  | KCmp (op, a, b) -> Printf.sprintf "cmp %s %s, %s" (string_of_cmpop op) (v a) (v b)
+  | KCast (t, a) -> Printf.sprintf "cast %s to %s" (v a) (string_of_ty t)
+  | KNot a -> Printf.sprintf "not %s" (v a)
+  | KSelect (c, a, b) -> Printf.sprintf "select %s, %s, %s" (v c) (v a) (v b)
+  | KPhi ops ->
+    "phi "
+    ^ String.concat ", "
+        (List.map (fun (b, x) -> Printf.sprintf "[b%d: %s]" b (v x)) ops)
+  | KLoad a -> Printf.sprintf "load [%s]" (v a)
+  | KStore (a, x) -> Printf.sprintf "store [%s], %s" (v a) (v x)
+  | KCall (f, args, _) ->
+    Printf.sprintf "call %s(%s)" f (String.concat ", " (List.map v args))
+  | KSplat a -> Printf.sprintf "splat %s" (v a)
+  | KVecbuild vs -> "vec(" ^ String.concat ", " (List.map v vs) ^ ")"
+  | KExtract (a, n) -> Printf.sprintf "extract %s, %d" (v a) n
+
+let to_string p =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "cfg %s (entry b%d) {\n" p.pname p.entry);
+  List.iter
+    (fun bid ->
+      let b = block p bid in
+      Buffer.add_string buf (Printf.sprintf "b%d:\n" bid);
+      List.iter
+        (fun i ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %%%d = %s\n" i.cid (string_of_ckind i.ck)))
+        b.insts;
+      (match b.term with
+      | Br d -> Buffer.add_string buf (Printf.sprintf "  br b%d\n" d)
+      | CondBr (c, t, e) ->
+        Buffer.add_string buf (Printf.sprintf "  br %%%d, b%d, b%d\n" c t e)
+      | Ret -> Buffer.add_string buf "  ret\n"))
+    (List.rev p.block_order);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,265 @@
+(* Lowering from predicated SSA to CFG SSA.
+
+   Strategy:
+   - consecutive instructions sharing the same non-trivial predicate are
+     grouped into one guarded diamond (one conditional branch per group);
+     values defined inside a diamond are merged with phis (undef on the
+     skip path), so any later use sees a dominating definition;
+   - PSSA gated phis become select chains over their operand predicates
+     (data-flow equivalent and insensitive to block placement);
+   - loops become guard / header / latch / exit structure: mus turn into
+     header phis (init from the preheader, recur from the latch) and etas
+     into exit-join phis (recur value from the latch, init/undef when the
+     guard skipped the loop). *)
+
+open Fgv_pssa
+module C = Cir
+
+type env = {
+  prog : C.prog;
+  func : Ir.func;
+  values : (Ir.value_id, C.cvalue) Hashtbl.t;
+  mutable cur : C.block;
+}
+
+let lookup st v =
+  match Hashtbl.find_opt st.values v with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Lower: value v%d not lowered yet" v)
+
+(* Materialize a predicate as a boolean cvalue in the current block. *)
+let rec lower_pred st (p : Pred.t) : C.cvalue =
+  match p with
+  | Ptrue -> C.emit st.prog st.cur (KConst (Cbool true)) Tbool
+  | Pfalse -> C.emit st.prog st.cur (KConst (Cbool false)) Tbool
+  | Plit { v; positive } ->
+    let c = lookup st v in
+    if positive then c else C.emit st.prog st.cur (KNot c) Tbool
+  | Pand ps ->
+    let cs = List.map (lower_pred st) ps in
+    List.fold_left
+      (fun acc c -> C.emit st.prog st.cur (KBinop (Band, acc, c)) Tbool)
+      (List.hd cs) (List.tl cs)
+  | Por ps ->
+    let cs = List.map (lower_pred st) ps in
+    List.fold_left
+      (fun acc c -> C.emit st.prog st.cur (KBinop (Bor, acc, c)) Tbool)
+      (List.hd cs) (List.tl cs)
+
+(* Lower one instruction into the current block (predicate ignored). *)
+let lower_inst st (i : Ir.inst) : C.cvalue =
+  let v = lookup st in
+  let emit ck = C.emit st.prog st.cur ck i.ty in
+  match i.kind with
+  | Const c -> emit (KConst c)
+  | Arg n -> emit (KArg n)
+  | Binop (op, a, b) -> emit (KBinop (op, v a, v b))
+  | Cmp (op, a, b) -> emit (KCmp (op, v a, v b))
+  | Cast (t, a) -> emit (KCast (t, v a))
+  | Select { cond; if_true; if_false } ->
+    emit (KSelect (v cond, v if_true, v if_false))
+  | Phi ops ->
+    (* select chain over operand predicates *)
+    let undef = C.emit st.prog st.cur (KConst (Cundef i.ty)) i.ty in
+    List.fold_left
+      (fun acc (p, x) ->
+        let c = lower_pred st p in
+        C.emit st.prog st.cur (KSelect (c, v x, acc)) i.ty)
+      undef (List.rev ops)
+  | Mu _ -> invalid_arg "Lower: mu outside loop header"
+  | Eta { value; _ } ->
+    (* the exit-join phi was recorded when the loop was lowered *)
+    v value
+  | Load { addr } -> emit (KLoad (v addr))
+  | Store { addr; value } -> emit (KStore (v addr, v value))
+  | Call { callee; args; effect } -> emit (KCall (callee, List.map v args, effect))
+  | Splat a -> emit (KSplat (v a))
+  | Vecbuild vs -> emit (KVecbuild (List.map v vs))
+  | Extract (a, n) -> emit (KExtract (v a, n))
+
+(* Group maximal runs of instructions sharing one predicate. *)
+type chunk = Run of Pred.t * Ir.value_id list | LoopChunk of Ir.loop_id
+
+let chunks_of_items f items =
+  let rec go acc cur items =
+    match items with
+    | [] -> List.rev (close acc cur)
+    | Ir.I v :: rest ->
+      let p = (Ir.inst f v).ipred in
+      (match cur with
+      | Some (q, vs) when Pred.equal p q -> go acc (Some (q, v :: vs)) rest
+      | _ -> go (close acc cur) (Some (p, [ v ])) rest)
+    | Ir.L lid :: rest -> go (LoopChunk lid :: close acc cur) None rest
+  and close acc = function
+    | None -> acc
+    | Some (p, vs) -> Run (p, List.rev vs) :: acc
+  in
+  go [] None items
+
+let rec lower_items st items =
+  let f = st.func in
+  List.iter
+    (fun chunk ->
+      match chunk with
+      | Run (p, vs) when Pred.equal p Pred.tru ->
+        List.iter
+          (fun v -> Hashtbl.replace st.values v (lower_inst st (Ir.inst f v)))
+          vs
+      | Run (p, vs) when Pred.equal p Pred.fls ->
+        (* statically dead: bind to undef *)
+        List.iter
+          (fun v ->
+            let i = Ir.inst f v in
+            Hashtbl.replace st.values v
+              (C.emit st.prog st.cur (KConst (Cundef i.ty)) i.ty))
+          vs
+      | Run (p, vs) ->
+        (* one diamond per predicate run *)
+        let cond = lower_pred st p in
+        (* undefs for the skip path, emitted before the branch *)
+        let undefs =
+          List.map
+            (fun v ->
+              let i = Ir.inst f v in
+              (v, C.emit st.prog st.cur (KConst (Cundef i.ty)) i.ty))
+            vs
+        in
+        let from_block = st.cur in
+        let bthen = C.new_block st.prog in
+        let bmerge = C.new_block st.prog in
+        from_block.term <- CondBr (cond, bthen.bid, bmerge.bid);
+        st.cur <- bthen;
+        let defs =
+          List.map
+            (fun v ->
+              let c = lower_inst st (Ir.inst f v) in
+              Hashtbl.replace st.values v c;
+              (v, c))
+            vs
+        in
+        let exit_then = st.cur in
+        (* lowering an instruction never opens new blocks, so the then
+           block is still current *)
+        exit_then.term <- Br bmerge.bid;
+        st.cur <- bmerge;
+        List.iter2
+          (fun (v, c) (_, u) ->
+            let i = Ir.inst f v in
+            if i.ty <> Tvoid then begin
+              let phi =
+                C.emit st.prog st.cur
+                  (KPhi [ (exit_then.bid, c); (from_block.bid, u) ])
+                  i.ty
+              in
+              Hashtbl.replace st.values v phi
+            end)
+          defs undefs
+      | LoopChunk lid -> lower_loop st (Ir.loop f lid))
+    (chunks_of_items f items)
+
+and lower_loop st lp =
+  let f = st.func in
+  let p = st.prog in
+  let guard_block = st.cur in
+  (* init cvalues, available before the branch *)
+  let inits =
+    List.map
+      (fun m ->
+        match (Ir.inst f m).kind with
+        | Mu { init; _ } -> (m, lookup st init)
+        | _ -> assert false)
+      lp.mus
+  in
+  let guard_cond = lower_pred st lp.lpred in
+  let header = C.new_block p in
+  let exit = C.new_block p in
+  let after = C.new_block p in
+  guard_block.term <- CondBr (guard_cond, header.bid, after.bid);
+  (* header phis for mus; latch incoming patched below *)
+  st.cur <- header;
+  let mu_phis =
+    List.map
+      (fun (m, init_cv) ->
+        let ty = (Ir.inst f m).ty in
+        let phi = C.emit p header (KPhi [ (guard_block.bid, init_cv) ]) ty in
+        Hashtbl.replace st.values m phi;
+        (m, phi))
+      inits
+  in
+  lower_items st lp.body;
+  (* latch: advance mus, evaluate continue predicate *)
+  let latch = st.cur in
+  let recur_cvs =
+    List.map
+      (fun m ->
+        match (Ir.inst f m).kind with
+        | Mu { recur; _ } -> (m, lookup st recur)
+        | _ -> assert false)
+      lp.mus
+  in
+  let cont_cv = lower_pred st lp.cont in
+  latch.term <- CondBr (cont_cv, header.bid, exit.bid);
+  (* patch header phis with the latch incoming *)
+  List.iter
+    (fun (m, phi_cv) ->
+      let phi_inst =
+        List.find (fun (i : C.cinst) -> i.cid = phi_cv) header.insts
+      in
+      let recur_cv = List.assoc m recur_cvs in
+      match phi_inst.ck with
+      | KPhi ops -> phi_inst.ck <- KPhi (ops @ [ (latch.bid, recur_cv) ])
+      | _ -> assert false)
+    mu_phis;
+  exit.term <- Br after.bid;
+  (* after block: join the loop-exit values with the skip path *)
+  st.cur <- after;
+  (* mus: recur value if the loop ran, init value if skipped *)
+  List.iter
+    (fun (m, init_cv) ->
+      let ty = (Ir.inst f m).ty in
+      let recur_cv = List.assoc m recur_cvs in
+      let phi =
+        C.emit p after
+          (KPhi [ (exit.bid, recur_cv); (guard_block.bid, init_cv) ])
+          ty
+      in
+      Hashtbl.replace st.values m phi)
+    inits;
+  (* body values observed by etas: body value if the loop ran, undef
+     otherwise *)
+  let eta_sources = ref [] in
+  Ir.iter_insts f (fun i ->
+      match i.kind with
+      | Eta { loop; value } when loop = lp.lid ->
+        if not (List.mem value lp.mus) then
+          eta_sources := value :: !eta_sources
+      | _ -> ());
+  List.sort_uniq compare !eta_sources
+  |> List.iter (fun v ->
+         match Hashtbl.find_opt st.values v with
+         | None -> () (* value not lowered: eta is dead *)
+         | Some cv ->
+           let ty = (Ir.inst f v).ty in
+           (* phi operands must dominate their incoming edge, so the undef
+              for the skip path lives in the guard block (appending after
+              its terminator was chosen is fine: insts always execute
+              before the terminator) *)
+           let undef_in_guard =
+             let b = C.block p guard_block.bid in
+             C.emit p b (KConst (Cundef ty)) ty
+           in
+           let phi =
+             C.emit p after
+               (KPhi [ (exit.bid, cv); (guard_block.bid, undef_in_guard) ])
+               ty
+           in
+           Hashtbl.replace st.values v phi)
+
+let lower (f : Ir.func) : C.prog =
+  let prog = C.create_prog f.fname in
+  let entry = C.new_block prog in
+  prog.entry <- entry.bid;
+  let st = { prog; func = f; values = Hashtbl.create 256; cur = entry } in
+  lower_items st f.fbody;
+  st.cur.term <- Ret;
+  prog

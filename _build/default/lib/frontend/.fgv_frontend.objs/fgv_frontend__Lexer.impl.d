@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Array List Printf String

@@ -1,0 +1,1 @@
+lib/frontend/lower_ast.ml: Ast Builder Fgv_pssa Ir List Map Parser Pred Printf String Verifier

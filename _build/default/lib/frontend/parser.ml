@@ -1,0 +1,307 @@
+(* Recursive-descent parser for the mini-C kernel language.
+
+   Precedence (loosest to tightest):
+     ternary  ?:
+     ||
+     &&
+     == != < <= > >=
+     + -
+     * / %
+     unary - !
+     postfix  p[e]  f(args)
+     primary *)
+
+open Ast
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type state = { tokens : Lexer.token array; mutable idx : int }
+
+let peek st = st.tokens.(st.idx)
+let advance st = st.idx <- st.idx + 1
+
+let expect_punct st p =
+  match peek st with
+  | TPunct q when q = p -> advance st
+  | t -> fail "expected '%s', got %s" p (Lexer.string_of_token t)
+
+let expect_ident st =
+  match peek st with
+  | TIdent s ->
+    advance st;
+    s
+  | t -> fail "expected identifier, got %s" (Lexer.string_of_token t)
+
+let accept_punct st p =
+  match peek st with
+  | TPunct q when q = p ->
+    advance st;
+    true
+  | _ -> false
+
+let accept_keyword st kw =
+  match peek st with
+  | TIdent s when s = kw ->
+    advance st;
+    true
+  | _ -> false
+
+let is_type_keyword = function
+  | "int" | "float" | "bool" -> true
+  | _ -> false
+
+let parse_base_ty st =
+  match peek st with
+  | TIdent "int" ->
+    advance st;
+    Tint
+  | TIdent "float" ->
+    advance st;
+    Tfloat
+  | TIdent "bool" ->
+    advance st;
+    Tbool
+  | t -> fail "expected type, got %s" (Lexer.string_of_token t)
+
+(* ---------------------------------------------------------- expressions *)
+
+let rec parse_expr st = parse_ternary st
+
+and parse_ternary st =
+  let c = parse_or st in
+  if accept_punct st "?" then begin
+    let t = parse_expr st in
+    expect_punct st ":";
+    let e = parse_ternary st in
+    Eternary (c, t, e)
+  end
+  else c
+
+and parse_or st =
+  let rec go acc =
+    if accept_punct st "||" then go (Ebin ("||", acc, parse_and st)) else acc
+  in
+  go (parse_and st)
+
+and parse_and st =
+  let rec go acc =
+    if accept_punct st "&&" then go (Ebin ("&&", acc, parse_cmp st)) else acc
+  in
+  go (parse_cmp st)
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | TPunct (("==" | "!=" | "<" | "<=" | ">" | ">=") as p) ->
+      advance st;
+      Some p
+    | _ -> None
+  in
+  match op with Some p -> Ebin (p, lhs, parse_add st) | None -> lhs
+
+and parse_add st =
+  let rec go acc =
+    match peek st with
+    | TPunct (("+" | "-") as p) ->
+      advance st;
+      go (Ebin (p, acc, parse_mul st))
+    | _ -> acc
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go acc =
+    match peek st with
+    | TPunct (("*" | "/" | "%") as p) ->
+      advance st;
+      go (Ebin (p, acc, parse_unary st))
+    | _ -> acc
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  if accept_punct st "-" then Eun ("-", parse_unary st)
+  else if accept_punct st "!" then Eun ("!", parse_unary st)
+  else parse_postfix st
+
+and parse_postfix st =
+  match peek st with
+  | TIdent name when not (is_type_keyword name) -> (
+    match st.tokens.(st.idx + 1) with
+    | TPunct "[" ->
+      advance st;
+      advance st;
+      let idx = parse_expr st in
+      expect_punct st "]";
+      Eindex (name, idx)
+    | TPunct "(" ->
+      advance st;
+      advance st;
+      let args = parse_args st in
+      Ecall (name, args)
+    | _ -> parse_primary st)
+  | _ -> parse_primary st
+
+and parse_args st =
+  if accept_punct st ")" then []
+  else begin
+    let rec go acc =
+      let e = parse_expr st in
+      if accept_punct st "," then go (e :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+and parse_primary st =
+  match peek st with
+  | TInt n ->
+    advance st;
+    Eint n
+  | TFloat x ->
+    advance st;
+    Efloat x
+  | TIdent "true" ->
+    advance st;
+    Ebool true
+  | TIdent "false" ->
+    advance st;
+    Ebool false
+  | TIdent name when not (is_type_keyword name) ->
+    advance st;
+    Evar name
+  | TPunct "(" -> (
+    advance st;
+    (* cast or parenthesized expression *)
+    match peek st with
+    | TIdent t when is_type_keyword t ->
+      let ty = parse_base_ty st in
+      expect_punct st ")";
+      Ecast (ty, parse_unary st)
+    | _ ->
+      let e = parse_expr st in
+      expect_punct st ")";
+      e)
+  | t -> fail "expected expression, got %s" (Lexer.string_of_token t)
+
+(* ----------------------------------------------------------- statements *)
+
+let rec parse_stmt st : stmt =
+  match peek st with
+  | TIdent "if" ->
+    advance st;
+    expect_punct st "(";
+    let c = parse_expr st in
+    expect_punct st ")";
+    let then_ = parse_block_or_stmt st in
+    let else_ = if accept_keyword st "else" then parse_block_or_stmt st else [] in
+    Sif (c, then_, else_)
+  | TIdent "for" ->
+    advance st;
+    expect_punct st "(";
+    let init = parse_simple_stmt st in
+    expect_punct st ";";
+    let cond = parse_expr st in
+    expect_punct st ";";
+    let step = parse_simple_stmt st in
+    expect_punct st ")";
+    let body = parse_block_or_stmt st in
+    Sfor (init, cond, step, body)
+  | TIdent "while" ->
+    advance st;
+    expect_punct st "(";
+    let c = parse_expr st in
+    expect_punct st ")";
+    let body = parse_block_or_stmt st in
+    Swhile (c, body)
+  | _ ->
+    let s = parse_simple_stmt st in
+    expect_punct st ";";
+    s
+
+and parse_block_or_stmt st =
+  if accept_punct st "{" then begin
+    let rec go acc =
+      if accept_punct st "}" then List.rev acc else go (parse_stmt st :: acc)
+    in
+    go []
+  end
+  else [ parse_stmt st ]
+
+(* A statement with no trailing ';': declaration, assignment, store, or
+   expression statement.  Used directly inside for-headers. *)
+and parse_simple_stmt st : stmt =
+  match peek st with
+  | TIdent t when is_type_keyword t ->
+    let ty = parse_base_ty st in
+    let name = expect_ident st in
+    expect_punct st "=";
+    Sdecl (ty, name, parse_expr st)
+  | TIdent name -> (
+    match st.tokens.(st.idx + 1) with
+    | TPunct "=" ->
+      advance st;
+      advance st;
+      Sassign (name, parse_expr st)
+    | TPunct "[" -> (
+      (* could be a store (p[e] = v) or an expression statement *)
+      let save = st.idx in
+      advance st;
+      advance st;
+      let idx = parse_expr st in
+      expect_punct st "]";
+      if accept_punct st "=" then Sstore (name, idx, parse_expr st)
+      else begin
+        st.idx <- save;
+        Sexpr (parse_expr st)
+      end)
+    | _ -> Sexpr (parse_expr st))
+  | _ -> Sexpr (parse_expr st)
+
+(* ------------------------------------------------------------ functions *)
+
+let parse_param st : param =
+  let ty = parse_base_ty st in
+  let is_ptr = accept_punct st "*" in
+  let prestrict = accept_keyword st "restrict" in
+  let pname = expect_ident st in
+  { pname; pty = (if is_ptr then Tptr ty else ty); prestrict }
+
+let parse_fdecl st : fdecl =
+  if not (accept_keyword st "kernel") then
+    fail "expected 'kernel', got %s" (Lexer.string_of_token (peek st));
+  let fdname = expect_ident st in
+  expect_punct st "(";
+  let fdparams =
+    if accept_punct st ")" then []
+    else begin
+      let rec go acc =
+        let p = parse_param st in
+        if accept_punct st "," then go (p :: acc)
+        else begin
+          expect_punct st ")";
+          List.rev (p :: acc)
+        end
+      in
+      go []
+    end
+  in
+  expect_punct st "{";
+  let rec body acc =
+    if accept_punct st "}" then List.rev acc else body (parse_stmt st :: acc)
+  in
+  { fdname; fdparams; fdbody = body [] }
+
+let parse (src : string) : fdecl =
+  let st = { tokens = Lexer.tokenize src; idx = 0 } in
+  let fd = parse_fdecl st in
+  (match peek st with
+  | TEOF -> ()
+  | t -> fail "trailing input: %s" (Lexer.string_of_token t));
+  fd

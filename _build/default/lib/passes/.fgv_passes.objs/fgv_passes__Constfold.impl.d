@@ -1,0 +1,1 @@
+lib/passes/constfold.ml: Bool Fgv_pssa Float Hashtbl Int64 Ir List Option Pred

@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Fgv_pssa Hashtbl Ir List Pred

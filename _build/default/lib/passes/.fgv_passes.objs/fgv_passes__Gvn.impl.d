@@ -1,0 +1,1 @@
+lib/passes/gvn.ml: Fgv_pssa Hashtbl Ir List Option Pred Printf

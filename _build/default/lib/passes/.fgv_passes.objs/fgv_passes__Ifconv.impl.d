@@ -1,0 +1,1 @@
+lib/passes/ifconv.ml: Fgv_pssa Ir List Pred

@@ -1,0 +1,1 @@
+lib/passes/licm.ml: Alias Fgv_analysis Fgv_pssa Ir List Pred Scev

@@ -1,0 +1,1 @@
+lib/passes/loopvec.ml: Alias Depcond Fgv_analysis Fgv_pssa Fgv_versioning Hashtbl Ir List Scev Slp Unroll

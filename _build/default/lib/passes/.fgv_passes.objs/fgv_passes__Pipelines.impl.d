@@ -1,0 +1,1 @@
+lib/passes/pipelines.ml: Constfold Dce Fgv_pssa Fgv_versioning Gvn Ifconv Ir Licm Loopvec Rle Slp Unroll

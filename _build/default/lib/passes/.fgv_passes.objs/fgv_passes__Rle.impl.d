@@ -1,0 +1,1 @@
+lib/passes/rle.ml: Fgv_analysis Fgv_pssa Fgv_versioning Hashtbl Ir Linexp List Option Pred Scev

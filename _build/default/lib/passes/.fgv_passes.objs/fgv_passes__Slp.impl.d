@@ -1,0 +1,1 @@
+lib/passes/slp.ml: Array Depcond Depgraph Fgv_analysis Fgv_pssa Fgv_versioning Hashtbl Ir Linexp List Option Pred Scev

@@ -1,0 +1,1 @@
+lib/passes/unroll.ml: Fgv_analysis Fgv_pssa Hashtbl Ir Linexp List Option Pred Scev

@@ -1,0 +1,118 @@
+(* Standard optimization pipelines used by the evaluation harness.
+
+   - [o3_novec]: the scalar baseline ("LLVM -O3 without vectorization"):
+     constant folding, GVN (including static redundant-load reuse), LICM
+     and DCE to a fixpoint.
+   - [o3]: the full baseline ("LLVM -O3"): scalar pipeline plus the loop
+     vectorizer with classic loop versioning plus the static SLP packer.
+   - [sv]: SuperVectorization without versioning: scalar pipeline, then
+     unroll-by-VL of innermost loops and the static SLP packer.
+   - [sv_versioning]: the paper's configuration: as [sv] but the packer
+     consults the fine-grained versioning framework.
+   - [rle_*]: the redundant-load-elimination pipelines of Fig. 22. *)
+
+open Fgv_pssa
+
+type pass_stats = {
+  mutable licm_hoisted : int;
+  mutable gvn_deleted : int;
+  mutable dce_removed : int;
+  mutable slp_vectors : int;
+  mutable slp_plans : int;
+  mutable loops_vectorized : int;
+  mutable rle_eliminated : int;
+  mutable rle_groups : int;
+}
+
+let new_pass_stats () =
+  {
+    licm_hoisted = 0;
+    gvn_deleted = 0;
+    dce_removed = 0;
+    slp_vectors = 0;
+    slp_plans = 0;
+    loops_vectorized = 0;
+    rle_eliminated = 0;
+    rle_groups = 0;
+  }
+
+let cleanup f stats =
+  ignore (Constfold.run f);
+  stats.dce_removed <- stats.dce_removed + Dce.run f
+
+let scalar_passes f stats =
+  ignore (Constfold.run f);
+  stats.gvn_deleted <- stats.gvn_deleted + Gvn.run f;
+  stats.licm_hoisted <- stats.licm_hoisted + Licm.run f;
+  cleanup f stats
+
+let o3_novec (f : Ir.func) : pass_stats =
+  let stats = new_pass_stats () in
+  scalar_passes f stats;
+  stats
+
+let o3 ?(vl = 4) (f : Ir.func) : pass_stats =
+  let stats = new_pass_stats () in
+  scalar_passes f stats;
+  ignore (Ifconv.run f);
+  let ls = Loopvec.run ~vl f in
+  stats.loops_vectorized <- ls.Loopvec.loops_vectorized;
+  scalar_passes f stats;
+  stats
+
+let sv ?(vl = 4) ?(versioning = false) ?(promotion = false) (f : Ir.func) :
+    pass_stats =
+  let stats = new_pass_stats () in
+  scalar_passes f stats;
+  ignore (Ifconv.run f);
+  ignore (Unroll.run ~factor:vl f);
+  ignore (Constfold.run f);
+  let config =
+    if versioning then
+      {
+        Slp.default_config with
+        vl;
+        condopt =
+          { Fgv_versioning.Condopt.default_config with promotion };
+      }
+    else { Slp.static_config with vl }
+  in
+  let n, slp_stats = Slp.run ~config f in
+  stats.slp_vectors <- n;
+  stats.slp_plans <- slp_stats.Slp.plans_used;
+  (* hoist loop-invariant check code, then clean up the scalar remains *)
+  scalar_passes f stats;
+  stats
+
+let sv_versioning ?(vl = 4) ?(promotion = true) f =
+  sv ~vl ~versioning:true ~promotion f
+
+(* ------------------------------------------------------ RLE pipelines *)
+
+(* Fig. 22 configuration: scalar pipeline, versioning-based RLE, then
+   LICM and GVN run again downstream (the paper reports how much *more*
+   work they do after RLE). *)
+let rle_pipeline ?(versioning = true) (f : Ir.func) : pass_stats =
+  let stats = new_pass_stats () in
+  scalar_passes f stats;
+  (* reset: the paper's counters are about the passes running after RLE *)
+  let stats = new_pass_stats () in
+  let rs = Rle.run ~versioning f in
+  stats.rle_eliminated <- rs.Rle.loads_eliminated;
+  stats.rle_groups <- rs.Rle.groups_found;
+  ignore (Constfold.run f);
+  stats.licm_hoisted <- stats.licm_hoisted + Licm.run f;
+  stats.gvn_deleted <- stats.gvn_deleted + Gvn.run f;
+  cleanup f stats;
+  stats
+
+(* The baseline for Fig. 22: the same downstream passes, no RLE. *)
+let rle_baseline (f : Ir.func) : pass_stats =
+  let stats = new_pass_stats () in
+  scalar_passes f stats;
+  let stats = new_pass_stats () in
+  ignore (Constfold.run f);
+  stats.licm_hoisted <- stats.licm_hoisted + Licm.run f;
+  stats.gvn_deleted <- stats.gvn_deleted + Gvn.run f;
+  cleanup f stats;
+  stats

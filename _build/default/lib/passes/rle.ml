@@ -1,0 +1,153 @@
+(* Redundant load elimination via versioning (paper SV-B).
+
+   A group of same-address, same-type loads is redundant when the loads
+   are all independent: independence means no intervening may-write can
+   affect any of them, so they all observe the same value.  The pass:
+
+   1. collects groups of region-level loads on equal symbolic addresses,
+      with a leader whose execution is implied by every member;
+   2. groups that are not already independent are handed to the
+      versioning framework (and dropped when versioning is infeasible);
+   3. plans are materialized;
+   4. the leader is hoisted before the other loads (requesting a further
+      separation plan when instructions it depends on sit in between)
+      and every other load's uses are redirected to the leader; the dead
+      loads are left for DCE.
+
+   With [versioning = false] the pass only eliminates groups that are
+   *statically* independent — the baseline a standard compiler achieves. *)
+
+open Fgv_pssa
+open Fgv_analysis
+module V = Fgv_versioning
+
+type stats = {
+  mutable groups_found : int;
+  mutable groups_versioned : int;
+  mutable loads_eliminated : int;
+  mutable groups_infeasible : int;
+}
+
+let new_stats () =
+  {
+    groups_found = 0;
+    groups_versioned = 0;
+    loads_eliminated = 0;
+    groups_infeasible = 0;
+  }
+
+(* Region-level scalar loads grouped by symbolic address and type. *)
+let load_groups (f : Ir.func) (scev : Scev.t) (region : Ir.region) :
+    Ir.value_id list list =
+  let items = Ir.region_items f region in
+  let loads =
+    List.filter_map
+      (fun item ->
+        match item with
+        | Ir.I v -> (
+          match (Ir.inst f v).kind with
+          | Ir.Load { addr } when Ir.lanes_of_ty (Ir.inst f v).ty = 1 ->
+            Some (v, Scev.linexp scev addr, (Ir.inst f v).ty)
+          | _ -> None)
+        | Ir.L _ -> None)
+      items
+  in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (v, lin, ty) ->
+      let key = (Linexp.terms lin, Linexp.constant lin, ty) in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+      Hashtbl.replace tbl key (v :: cur))
+    loads;
+  Hashtbl.fold
+    (fun _ vs acc -> if List.length vs >= 2 then List.rev vs :: acc else acc)
+    tbl []
+
+(* The leader: the first member, provided every member's predicate
+   implies its execution. *)
+let leader_of (f : Ir.func) (group : Ir.value_id list) : Ir.value_id option =
+  match group with
+  | first :: rest ->
+    let p0 = (Ir.inst f first).ipred in
+    if List.for_all (fun v -> Pred.implies (Ir.inst f v).ipred p0) rest then
+      Some first
+    else None
+  | [] -> None
+
+let run_region ?(versioning = true) (f : Ir.func) (region : Ir.region)
+    (stats : stats) : unit =
+  let scev = Scev.create f in
+  let session =
+    V.Api.create
+      ~condopt:{ V.Condopt.default_config with promotion = true }
+      f region
+  in
+  let groups =
+    List.filter_map
+      (fun group ->
+        match leader_of f group with
+        | None -> None
+        | Some leader -> Some (leader, group))
+      (load_groups f scev region)
+  in
+  let accepted = ref [] in
+  List.iter
+    (fun (leader, group) ->
+      stats.groups_found <- stats.groups_found + 1;
+      let nodes = List.map (fun v -> Ir.NI v) group in
+      if V.Api.already_independent session nodes then
+        accepted := (leader, group, true) :: !accepted
+      else if versioning then begin
+        match V.Api.request_independence session nodes with
+        | Some plan when not (V.Plan.is_trivial plan) ->
+          stats.groups_versioned <- stats.groups_versioned + 1;
+          accepted := (leader, group, false) :: !accepted
+        | Some _ -> accepted := (leader, group, false) :: !accepted
+        | None -> stats.groups_infeasible <- stats.groups_infeasible + 1
+      end
+      else stats.groups_infeasible <- stats.groups_infeasible + 1)
+    groups;
+  let materialized = V.Api.materialize ~loop_upgrade:true session in
+  (* Redirect the non-leader loads to the leader.  The redirect target
+     must be the leader's outermost versioning phi (valid on every path):
+     the raw leader's predicate was narrowed by the checks.  When
+     materialization failed, only the groups that were independent
+     *without* versioning may be collapsed. *)
+  let users = Ir.compute_users f in
+  List.iter
+    (fun (leader, group, was_static) ->
+      match materialized, was_static with
+      | None, false -> ()
+      | maybe_subst, _ ->
+        let target =
+          match maybe_subst with
+          | Some subst -> subst leader
+          | None -> leader
+        in
+        List.iter
+          (fun l ->
+            if l <> leader then begin
+              List.iter
+                (fun u ->
+                  if u <> target then
+                    Ir.replace_uses_in_inst f ~user:u ~old_v:l ~new_v:target)
+                (users l);
+              stats.loads_eliminated <- stats.loads_eliminated + 1
+            end)
+          group)
+    !accepted
+
+let run ?(versioning = true) (f : Ir.func) : stats =
+  let stats = new_stats () in
+  let rec regions items acc =
+    List.fold_left
+      (fun acc item ->
+        match item with
+        | Ir.I _ -> acc
+        | Ir.L lid -> regions (Ir.loop f lid).body (Ir.Rloop lid :: acc))
+      acc items
+  in
+  List.iter
+    (fun region -> run_region ~versioning f region stats)
+    (regions f.Ir.fbody [ Ir.Rtop ]);
+  stats

@@ -1,0 +1,1 @@
+lib/pssa/builder.ml: Ir List Pred

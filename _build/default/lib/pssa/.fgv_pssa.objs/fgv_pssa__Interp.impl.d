@@ -1,0 +1,1 @@
+lib/pssa/interp.ml: Array Float Hashtbl Ir List Option Pred Value

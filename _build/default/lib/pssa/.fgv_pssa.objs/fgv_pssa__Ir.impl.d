@@ -1,0 +1,1 @@
+lib/pssa/ir.ml: Hashtbl List Option Pred Printf

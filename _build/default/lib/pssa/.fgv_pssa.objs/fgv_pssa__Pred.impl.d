@@ -1,0 +1,1 @@
+lib/pssa/pred.ml: List String

@@ -1,0 +1,1 @@
+lib/pssa/printer.ml: Buffer Ir List Pred Printf String

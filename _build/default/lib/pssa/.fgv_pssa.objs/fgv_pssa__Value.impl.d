@@ -1,0 +1,1 @@
+lib/pssa/value.ml: Array Int64 Printf String

@@ -1,0 +1,1 @@
+lib/pssa/verifier.ml: Hashtbl Ir List Pred Printf

@@ -1,0 +1,137 @@
+(* Convenience layer for constructing PSSA functions in program order.
+
+   The builder keeps a stack of open regions (the function body plus any
+   loops being built) and a current predicate per region; emitted
+   instructions are appended to the innermost region under the current
+   predicate.  Loop bodies restart at predicate [true], matching Fig. 4
+   where body predicates are relative to one iteration. *)
+
+open Ir
+
+type frame = {
+  mutable items_rev : item list;
+  mutable pred_stack : Pred.t list; (* innermost first; conjunction applies *)
+  frame_loop : loop option;
+}
+
+type t = { func : func; mutable frames : frame list }
+
+let create ~name ~params =
+  let func = create_func ~name ~params in
+  { func; frames = [ { items_rev = []; pred_stack = []; frame_loop = None } ] }
+
+let top b =
+  match b.frames with
+  | f :: _ -> f
+  | [] -> invalid_arg "Builder: no open region"
+
+let cur_pred b = Pred.and_list (top b).pred_stack
+
+(* Push/pop a control predicate (e.g. when entering an [if]). *)
+let push_pred b p =
+  let f = top b in
+  f.pred_stack <- p :: f.pred_stack
+
+let pop_pred b =
+  let f = top b in
+  match f.pred_stack with
+  | _ :: rest -> f.pred_stack <- rest
+  | [] -> invalid_arg "Builder.pop_pred: empty predicate stack"
+
+let emit ?name ?pred b ~kind ~ty =
+  let p = match pred with Some p -> p | None -> cur_pred b in
+  let i = new_inst ?name b.func ~kind ~ty ~pred:p in
+  let f = top b in
+  f.items_rev <- I i.id :: f.items_rev;
+  i.id
+
+(* ------------------------------------------------------------ constants *)
+
+let const_int ?name b n = emit ?name b ~kind:(Const (Cint n)) ~ty:Tint
+let const_float ?name b x = emit ?name b ~kind:(Const (Cfloat x)) ~ty:Tfloat
+let const_bool ?name b v = emit ?name b ~kind:(Const (Cbool v)) ~ty:Tbool
+let undef ?name b ty = emit ?name b ~kind:(Const (Cundef ty)) ~ty
+let arg ?name b idx ~ty = emit ?name b ~kind:(Arg idx) ~ty
+
+(* ----------------------------------------------------------- operations *)
+
+let binop ?name b op a c ~ty = emit ?name b ~kind:(Binop (op, a, c)) ~ty
+let add ?name b a c = binop ?name b Add a c ~ty:Tint
+let sub ?name b a c = binop ?name b Sub a c ~ty:Tint
+let mul ?name b a c = binop ?name b Mul a c ~ty:Tint
+let fadd ?name b a c = binop ?name b Fadd a c ~ty:Tfloat
+let fsub ?name b a c = binop ?name b Fsub a c ~ty:Tfloat
+let fmul ?name b a c = binop ?name b Fmul a c ~ty:Tfloat
+let fdiv ?name b a c = binop ?name b Fdiv a c ~ty:Tfloat
+let cmp ?name b op a c = emit ?name b ~kind:(Cmp (op, a, c)) ~ty:Tbool
+let cast ?name b ty a = emit ?name b ~kind:(Cast (ty, a)) ~ty
+
+let select ?name b ~cond ~if_true ~if_false ~ty =
+  emit ?name b ~kind:(Select { cond; if_true; if_false }) ~ty
+
+let phi ?name ?pred b ops ~ty = emit ?name ?pred b ~kind:(Phi ops) ~ty
+let load ?name b addr ~ty = emit ?name b ~kind:(Load { addr }) ~ty
+let store ?name b ~addr ~value = emit ?name b ~kind:(Store { addr; value }) ~ty:Tvoid
+
+let call ?name ?(effect = Impure) b callee args ~ty =
+  emit ?name b ~kind:(Call { callee; args; effect }) ~ty
+
+let splat ?name b v ~lanes ~ty = emit ?name b ~kind:(Splat v) ~ty:(Tvec (ty, lanes))
+
+let vecbuild ?name b vs ~ty =
+  emit ?name b ~kind:(Vecbuild vs) ~ty:(Tvec (ty, List.length vs))
+
+let extract ?name b v lane ~ty = emit ?name b ~kind:(Extract (v, lane)) ~ty
+
+(* -------------------------------------------------------------- loops *)
+
+(* Opens a loop item in the current region. Inside, the predicate context
+   restarts at true. Finish with [finish_loop]. *)
+let begin_loop b =
+  let guard = cur_pred b in
+  let lp = new_loop b.func ~pred:guard in
+  b.frames <-
+    { items_rev = []; pred_stack = []; frame_loop = Some lp } :: b.frames;
+  lp
+
+(* A mu node for the loop currently being built. The recur operand is
+   typically a forward reference; create with init twice then patch via
+   [set_mu_recur]. *)
+let mu ?name b lp ~init ~ty =
+  let i =
+    new_inst ?name b.func ~kind:(Mu { init; recur = init; loop = lp.lid })
+      ~ty ~pred:Pred.tru
+  in
+  lp.mus <- lp.mus @ [ i.id ];
+  i.id
+
+let set_mu_recur b m recur =
+  let i = inst b.func m in
+  match i.kind with
+  | Mu mu -> i.kind <- Mu { mu with recur }
+  | _ -> invalid_arg "Builder.set_mu_recur: not a mu"
+
+let finish_loop b lp ~cont =
+  match b.frames with
+  | frame :: rest ->
+    (match frame.frame_loop with
+    | Some l when l.lid = lp.lid -> ()
+    | _ -> invalid_arg "Builder.finish_loop: loop mismatch");
+    lp.body <- List.rev frame.items_rev;
+    lp.cont <- cont;
+    b.frames <- rest;
+    let parent = top b in
+    parent.items_rev <- L lp.lid :: parent.items_rev
+  | [] -> invalid_arg "Builder.finish_loop: no open region"
+
+let eta ?name b lp v ~ty =
+  emit ?name b ~kind:(Eta { loop = lp.lid; value = v }) ~ty
+
+(* ------------------------------------------------------------- closing *)
+
+let finish b =
+  match b.frames with
+  | [ frame ] ->
+    b.func.fbody <- List.rev frame.items_rev;
+    b.func
+  | _ -> invalid_arg "Builder.finish: unclosed loop"

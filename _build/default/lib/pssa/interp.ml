@@ -1,0 +1,330 @@
+(* Reference interpreter for PSSA with an architectural cost model.
+
+   Semantics:
+   - items execute in order; an instruction whose predicate evaluates to
+     false is skipped and its value becomes undef;
+   - a loop whose guard holds runs with do-while semantics: mus take
+     their init value on the first iteration and their recur value on
+     subsequent ones; after the final iteration the mus are advanced one
+     more time so that etas observe the exit value (e.g. i == n after a
+     counted loop);
+   - undef propagates through arithmetic (LLVM-poison style) and reads as
+     false in predicates; loading or storing through an undef address
+     traps.
+
+   The interpreter records an observable trace (external calls in order,
+   plus the final memory) that the test suite uses to check that program
+   transformations are semantics-preserving. *)
+
+open Ir
+
+type counters = {
+  mutable scalar_ops : int;
+  mutable vector_ops : int;
+  mutable loads : int;
+  mutable vector_loads : int;
+  mutable stores : int;
+  mutable vector_stores : int;
+  mutable calls : int;
+  mutable iterations : int; (* loop iterations executed *)
+  mutable skipped : int; (* predicated-off instructions *)
+}
+
+let new_counters () =
+  {
+    scalar_ops = 0;
+    vector_ops = 0;
+    loads = 0;
+    vector_loads = 0;
+    stores = 0;
+    vector_stores = 0;
+    calls = 0;
+    iterations = 0;
+    skipped = 0;
+  }
+
+type outcome = {
+  memory : Value.t array;
+  call_trace : (string * Value.t list) list; (* in execution order *)
+  counters : counters;
+}
+
+exception Out_of_fuel
+
+(* External functions: receive argument values and the memory array
+   (which impure functions may mutate); return the result value. *)
+type ffi = (string * (Value.t list -> Value.t array -> Value.t)) list
+
+let default_ffi : ffi =
+  [
+    ("sqrt", fun args _ -> VFloat (sqrt (Value.to_float (List.hd args))));
+    ("fabs", fun args _ -> VFloat (Float.abs (Value.to_float (List.hd args))));
+    ("exp", fun args _ -> VFloat (exp (Value.to_float (List.hd args))));
+    (* the paper's running example: a rarely-executed opaque call that
+       clobbers the first memory cell *)
+    ( "cold_func",
+      fun _ mem ->
+        if Array.length mem > 0 then mem.(0) <- VFloat 42.0;
+        VInt 0 );
+  ]
+
+let lift_int_op op a b = Value.VInt (op (Value.to_int a) (Value.to_int b))
+let lift_float_op op a b = Value.VFloat (op (Value.to_float a) (Value.to_float b))
+
+let apply_binop op (a : Value.t) (b : Value.t) : Value.t =
+  if Value.is_undef a || Value.is_undef b then VUndef
+  else
+    match op with
+    | Add -> lift_int_op ( + ) a b
+    | Sub -> lift_int_op ( - ) a b
+    | Mul -> lift_int_op ( * ) a b
+    | Div ->
+      let d = Value.to_int b in
+      if d = 0 then Value.trap "integer division by zero"
+      else lift_int_op ( / ) a b
+    | Rem ->
+      let d = Value.to_int b in
+      if d = 0 then Value.trap "integer remainder by zero"
+      else lift_int_op (fun x y -> x mod y) a b
+    | Fadd -> lift_float_op ( +. ) a b
+    | Fsub -> lift_float_op ( -. ) a b
+    | Fmul -> lift_float_op ( *. ) a b
+    | Fdiv -> lift_float_op ( /. ) a b
+    | Fmin -> lift_float_op Float.min a b
+    | Fmax -> lift_float_op Float.max a b
+    | Band -> VBool (Value.to_bool a && Value.to_bool b)
+    | Bor -> VBool (Value.to_bool a || Value.to_bool b)
+
+let apply_cmp op (a : Value.t) (b : Value.t) : Value.t =
+  if Value.is_undef a || Value.is_undef b then VUndef
+  else
+    match op with
+    | Eq -> VBool (Value.to_int a = Value.to_int b)
+    | Ne -> VBool (Value.to_int a <> Value.to_int b)
+    | Lt -> VBool (Value.to_int a < Value.to_int b)
+    | Le -> VBool (Value.to_int a <= Value.to_int b)
+    | Gt -> VBool (Value.to_int a > Value.to_int b)
+    | Ge -> VBool (Value.to_int a >= Value.to_int b)
+    | Feq -> VBool (Value.to_float a = Value.to_float b)
+    | Fne -> VBool (Value.to_float a <> Value.to_float b)
+    | Flt -> VBool (Value.to_float a < Value.to_float b)
+    | Fle -> VBool (Value.to_float a <= Value.to_float b)
+    | Fgt -> VBool (Value.to_float a > Value.to_float b)
+    | Fge -> VBool (Value.to_float a >= Value.to_float b)
+
+(* Apply a scalar operation lanewise when either operand is a vector. *)
+let lanewise2 op a b =
+  match a, b with
+  | Value.VVec xs, Value.VVec ys ->
+    if Array.length xs <> Array.length ys then
+      Value.trap "vector width mismatch"
+    else Value.VVec (Array.map2 op xs ys)
+  | Value.VVec xs, y -> Value.VVec (Array.map (fun x -> op x y) xs)
+  | x, Value.VVec ys -> Value.VVec (Array.map (fun y -> op x y) ys)
+  | x, y -> op x y
+
+let run ?(fuel = 100_000_000) ?(ffi = default_ffi) (f : func)
+    ~(args : Value.t list) ~(mem : Value.t array) : outcome =
+  let env : (value_id, Value.t) Hashtbl.t = Hashtbl.create 256 in
+  let counters = new_counters () in
+  let trace = ref [] in
+  let fuel_left = ref fuel in
+  let lookup v = Option.value ~default:Value.VUndef (Hashtbl.find_opt env v) in
+  let eval_pred p = Pred.eval (fun v -> Value.to_bool (lookup v)) p in
+  let burn () =
+    decr fuel_left;
+    if !fuel_left <= 0 then raise Out_of_fuel
+  in
+  let check_addr a =
+    if a < 0 || a >= Array.length mem then
+      Value.trap "out-of-bounds access at %d (heap %d)" a (Array.length mem)
+  in
+  let count_op i =
+    match i.ty with
+    | Tvec _ -> counters.vector_ops <- counters.vector_ops + 1
+    | _ -> counters.scalar_ops <- counters.scalar_ops + 1
+  in
+  let exec_inst (i : inst) : Value.t =
+    burn ();
+    match i.kind with
+    | Const (Cint n) -> VInt n
+    | Const (Cfloat x) -> VFloat x
+    | Const (Cbool b) -> VBool b
+    | Const (Cundef _) -> VUndef
+    | Arg n -> (
+      match List.nth_opt args n with
+      | Some v -> v
+      | None -> Value.trap "missing argument %d" n)
+    | Binop (op, a, b) ->
+      count_op i;
+      lanewise2 (apply_binop op) (lookup a) (lookup b)
+    | Cmp (op, a, b) ->
+      count_op i;
+      lanewise2 (apply_cmp op) (lookup a) (lookup b)
+    | Cast (t, a) ->
+      count_op i;
+      let rec cast1 v =
+        if Value.is_undef v then Value.VUndef
+        else
+          match v, t with
+          | Value.VVec xs, _ -> Value.VVec (Array.map cast1 xs)
+          | _, (Tfloat | Tvec (Tfloat, _)) -> VFloat (float_of_int (Value.to_int v))
+          | _, (Tint | Tvec (Tint, _)) -> VInt (int_of_float (Value.to_float v))
+          | _, (Tbool | Tvec (Tbool, _)) -> VBool (Value.to_bool v)
+          | _ -> Value.trap "unsupported cast"
+      in
+      cast1 (lookup a)
+    | Select { cond; if_true; if_false } -> (
+      count_op i;
+      match lookup cond with
+      | VVec lanes ->
+        let tv = lookup if_true and fv = lookup if_false in
+        let lane k v =
+          let pick src =
+            match src with Value.VVec xs -> xs.(k) | s -> s
+          in
+          if Value.to_bool v then pick tv else pick fv
+        in
+        VVec (Array.mapi lane lanes)
+      | c -> if Value.to_bool c then lookup if_true else lookup if_false)
+    | Phi ops -> (
+      match List.find_opt (fun (p, _) -> eval_pred p) ops with
+      | Some (_, v) -> lookup v
+      | None -> VUndef)
+    | Mu _ -> Value.trap "mu executed outside loop header"
+    | Eta { value; _ } -> lookup value
+    | Load { addr } -> (
+      let a = Value.to_int (lookup addr) in
+      match i.ty with
+      | Tvec (_, n) ->
+        counters.vector_loads <- counters.vector_loads + 1;
+        check_addr a;
+        check_addr (a + n - 1);
+        VVec (Array.init n (fun k -> mem.(a + k)))
+      | _ ->
+        counters.loads <- counters.loads + 1;
+        check_addr a;
+        mem.(a))
+    | Store { addr; value } -> (
+      let a = Value.to_int (lookup addr) in
+      match lookup value with
+      | VVec lanes ->
+        counters.vector_stores <- counters.vector_stores + 1;
+        check_addr a;
+        check_addr (a + Array.length lanes - 1);
+        Array.iteri (fun k v -> mem.(a + k) <- v) lanes;
+        VUndef
+      | v ->
+        counters.stores <- counters.stores + 1;
+        check_addr a;
+        mem.(a) <- v;
+        VUndef)
+    | Call { callee; args = cargs; effect } -> (
+      counters.calls <- counters.calls + 1;
+      let argv = List.map lookup cargs in
+      (* only impure calls are observable events: pure and read-only
+         calls are deterministic functions the optimizer may duplicate,
+         reorder, or hoist *)
+      if effect = Impure then trace := (callee, argv) :: !trace;
+      match List.assoc_opt callee ffi with
+      | Some fn -> fn argv mem
+      | None -> Value.trap "unknown external function %s" callee)
+    | Splat v -> (
+      count_op i;
+      match i.ty with
+      | Tvec (_, n) -> VVec (Array.make n (lookup v))
+      | _ -> Value.trap "splat with non-vector type")
+    | Vecbuild vs ->
+      count_op i;
+      VVec (Array.of_list (List.map lookup vs))
+    | Extract (v, k) -> (
+      count_op i;
+      match lookup v with
+      | VVec xs when k < Array.length xs -> xs.(k)
+      | VVec _ -> Value.trap "extract lane out of range"
+      | VUndef -> VUndef
+      | _ -> Value.trap "extract from non-vector")
+  in
+  let rec exec_items items =
+    List.iter
+      (fun item ->
+        match item with
+        | I v ->
+          let i = inst f v in
+          if eval_pred i.ipred then Hashtbl.replace env v (exec_inst i)
+          else begin
+            counters.skipped <- counters.skipped + 1;
+            Hashtbl.replace env v Value.VUndef
+          end
+        | L lid -> exec_loop (loop f lid))
+      items
+  and exec_loop lp =
+    if eval_pred lp.lpred then begin
+      (* first iteration: mus take their init values *)
+      List.iter
+        (fun m ->
+          match (inst f m).kind with
+          | Mu { init; _ } -> Hashtbl.replace env m (lookup init)
+          | _ -> Value.trap "non-mu in loop header")
+        lp.mus;
+      let continue_ = ref true in
+      while !continue_ do
+        burn ();
+        counters.iterations <- counters.iterations + 1;
+        exec_items lp.body;
+        (* advance mus: compute all next values, then commit *)
+        let next =
+          List.map
+            (fun m ->
+              match (inst f m).kind with
+              | Mu { recur; _ } -> (m, lookup recur)
+              | _ -> assert false)
+            lp.mus
+        in
+        let cont_now = eval_pred lp.cont in
+        List.iter (fun (m, v) -> Hashtbl.replace env m v) next;
+        continue_ := cont_now
+      done
+    end
+    else begin
+      (* skipped loop: etas over mus observe the init values *)
+      List.iter
+        (fun m ->
+          match (inst f m).kind with
+          | Mu { init; _ } -> Hashtbl.replace env m (lookup init)
+          | _ -> ())
+        lp.mus;
+      (* values defined in the body stay undef *)
+      List.iter
+        (fun v -> Hashtbl.replace env v Value.VUndef)
+        (List.concat_map (defined_values f) lp.body)
+    end
+  in
+  exec_items f.fbody;
+  { memory = mem; call_trace = List.rev !trace; counters }
+
+(* Observable equivalence of two outcomes: same final memory and the same
+   external calls in the same order with the same arguments. *)
+let equivalent (a : outcome) (b : outcome) =
+  Array.length a.memory = Array.length b.memory
+  && Array.for_all2 Value.equal a.memory b.memory
+  && List.length a.call_trace = List.length b.call_trace
+  && List.for_all2
+       (fun (n1, a1) (n2, a2) ->
+         n1 = n2
+         && List.length a1 = List.length a2
+         && List.for_all2 Value.equal a1 a2)
+       a.call_trace b.call_trace
+
+(* Architectural cost model: what the speedup tables are computed from.
+   A vector operation costs the same as a scalar one (the machine has
+   4-wide SIMD); memory operations are slightly more expensive; calls are
+   expensive.  Loop iteration overhead models the branch/induction cost a
+   real CPU pays per iteration. *)
+let cost (c : counters) =
+  float_of_int c.scalar_ops
+  +. float_of_int c.vector_ops
+  +. (2.0 *. float_of_int (c.loads + c.vector_loads))
+  +. (2.0 *. float_of_int (c.stores + c.vector_stores))
+  +. (20.0 *. float_of_int c.calls)
+  +. (1.0 *. float_of_int c.iterations)

@@ -1,0 +1,150 @@
+(* Predicates of predicated SSA (Fig. 3 of the paper):
+
+     p ::= true | v | v-bar | p1 /\ p2 | p1 \/ p2
+
+   where v is an SSA value of boolean type.  Predicates are kept in a
+   normalized structural form (flattened, sorted, de-duplicated and/or
+   lists) so that structural equality coincides with the equality the
+   framework needs, and so that [implies] can be decided syntactically for
+   the predicates that structured control flow produces. *)
+
+type value_id = int
+
+type t =
+  | Ptrue
+  | Pfalse
+  | Plit of { v : value_id; positive : bool }
+  | Pand of t list (* >= 2 elements, sorted, no nested Pand/Ptrue *)
+  | Por of t list (* >= 2 elements, sorted, no nested Por/Pfalse *)
+
+let tru = Ptrue
+let fls = Pfalse
+let lit ?(positive = true) v = Plit { v; positive }
+
+let rec compare_t a b =
+  match a, b with
+  | Ptrue, Ptrue | Pfalse, Pfalse -> 0
+  | Ptrue, _ -> -1
+  | _, Ptrue -> 1
+  | Pfalse, _ -> -1
+  | _, Pfalse -> 1
+  | Plit a, Plit b ->
+    let c = compare a.v b.v in
+    if c <> 0 then c else compare a.positive b.positive
+  | Plit _, _ -> -1
+  | _, Plit _ -> 1
+  | Pand a, Pand b -> compare_list a b
+  | Pand _, _ -> -1
+  | _, Pand _ -> 1
+  | Por a, Por b -> compare_list a b
+
+and compare_list a b =
+  match a, b with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: a, y :: b ->
+    let c = compare_t x y in
+    if c <> 0 then c else compare_list a b
+
+let equal a b = compare_t a b = 0
+
+let norm_list xs = List.sort_uniq compare_t xs
+
+(* Detect complementary literal pairs in a sorted conjunct/disjunct list. *)
+let has_complement xs =
+  let rec go = function
+    | Plit a :: (Plit b :: _ as rest) ->
+      (a.v = b.v && a.positive <> b.positive) || go rest
+    | _ :: rest -> go rest
+    | [] -> false
+  in
+  go xs
+
+let and_list ps =
+  let flat =
+    List.concat_map (function Pand xs -> xs | Ptrue -> [] | p -> [ p ]) ps
+  in
+  if List.exists (fun p -> p = Pfalse) flat then Pfalse
+  else
+    match norm_list flat with
+    | [] -> Ptrue
+    | [ p ] -> p
+    | xs -> if has_complement xs then Pfalse else Pand xs
+
+let and_ a b = and_list [ a; b ]
+
+let or_list ps =
+  let flat =
+    List.concat_map (function Por xs -> xs | Pfalse -> [] | p -> [ p ]) ps
+  in
+  if List.exists (fun p -> p = Ptrue) flat then Ptrue
+  else
+    match norm_list flat with
+    | [] -> Pfalse
+    | [ p ] -> p
+    | xs -> if has_complement xs then Ptrue else Por xs
+
+let or_ a b = or_list [ a; b ]
+
+let rec not_ = function
+  | Ptrue -> Pfalse
+  | Pfalse -> Ptrue
+  | Plit { v; positive } -> Plit { v; positive = not positive }
+  | Pand xs -> or_list (List.map not_ xs)
+  | Por xs -> and_list (List.map not_ xs)
+
+(* Sound, incomplete implication test.  Complete for the conjunctions of
+   literals that structured control flow produces, which is what the
+   framework relies on (cf. the pred(j).implies(pred(i)) test in Fig. 6). *)
+let rec implies p q =
+  if equal p q then true
+  else
+    match p, q with
+    | Pfalse, _ -> true
+    | _, Ptrue -> true
+    | Ptrue, _ -> false
+    | _, Pfalse -> false
+    | Por xs, _ -> List.for_all (fun x -> implies x q) xs
+    | _, Pand ys -> List.for_all (fun y -> implies p y) ys
+    | Pand xs, _ -> List.exists (fun x -> equal x q) xs || subsumes_or xs q
+    | Plit _, Por ys -> List.exists (fun y -> implies p y) ys
+    | Plit _, _ -> false
+
+and subsumes_or xs q =
+  match q with
+  | Por ys -> List.exists (fun y -> implies (Pand xs) y) ys
+  | _ -> false
+
+(* All boolean SSA values mentioned by the predicate.  These are the
+   "operands" of a control-predicate dependence condition. *)
+let rec literals p =
+  match p with
+  | Ptrue | Pfalse -> []
+  | Plit { v; _ } -> [ v ]
+  | Pand xs | Por xs -> List.sort_uniq compare (List.concat_map literals xs)
+
+(* Evaluate under an environment giving the runtime boolean of each value. *)
+let rec eval lookup = function
+  | Ptrue -> true
+  | Pfalse -> false
+  | Plit { v; positive } -> if positive then lookup v else not (lookup v)
+  | Pand xs -> List.for_all (eval lookup) xs
+  | Por xs -> List.exists (eval lookup) xs
+
+(* Substitute values for values (used when cloning versioned code). *)
+let rec rename f = function
+  | (Ptrue | Pfalse) as p -> p
+  | Plit { v; positive } -> Plit { v = f v; positive }
+  | Pand xs -> and_list (List.map (rename f) xs)
+  | Por xs -> or_list (List.map (rename f) xs)
+
+let rec to_string value_name = function
+  | Ptrue -> "true"
+  | Pfalse -> "false"
+  | Plit { v; positive } ->
+    if positive then value_name v else "!" ^ value_name v
+  | Pand xs ->
+    "(" ^ String.concat " & " (List.map (to_string value_name) xs) ^ ")"
+  | Por xs ->
+    "(" ^ String.concat " | " (List.map (to_string value_name) xs) ^ ")"

@@ -1,0 +1,42 @@
+(** Predicates of predicated SSA: [p ::= true | v | !v | p & p | p "|" p]
+    over boolean SSA values, kept in a normalized structural form. *)
+
+type value_id = int
+
+type t = private
+  | Ptrue
+  | Pfalse
+  | Plit of { v : value_id; positive : bool }
+  | Pand of t list
+  | Por of t list
+
+val tru : t
+val fls : t
+
+val lit : ?positive:bool -> value_id -> t
+(** Literal over a boolean SSA value. *)
+
+val and_ : t -> t -> t
+val and_list : t list -> t
+val or_ : t -> t -> t
+val or_list : t list -> t
+
+val not_ : t -> t
+(** Negation (De Morgan over the structure). *)
+
+val equal : t -> t -> bool
+val compare_t : t -> t -> int
+
+val implies : t -> t -> bool
+(** Sound, incomplete implication: [implies p q] true means p entails q.
+    Complete for conjunctions of literals. *)
+
+val literals : t -> value_id list
+(** Boolean SSA values mentioned, sorted, unique. *)
+
+val eval : (value_id -> bool) -> t -> bool
+
+val rename : (value_id -> value_id) -> t -> t
+(** Rename the underlying SSA values (re-normalizes). *)
+
+val to_string : (value_id -> string) -> t -> string

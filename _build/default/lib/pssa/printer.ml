@@ -1,0 +1,89 @@
+(* Textual rendering of PSSA functions, close to the paper's notation:
+   each line is "<def> = <op> ...  ; <predicate>". *)
+
+open Ir
+
+let rec string_of_const = function
+  | Cint n -> string_of_int n
+  | Cfloat x -> Printf.sprintf "%g" x
+  | Cbool b -> string_of_bool b
+  | Cundef t -> "undef:" ^ string_of_ty t
+
+and string_of_kind f kind =
+  let v = value_name f in
+  match kind with
+  | Const c -> "const " ^ string_of_const c
+  | Arg n ->
+    let pname = try fst (List.nth f.params n) with _ -> string_of_int n in
+    Printf.sprintf "arg %d (%s)" n pname
+  | Binop (op, a, b) -> Printf.sprintf "%s %s, %s" (string_of_binop op) (v a) (v b)
+  | Cmp (op, a, b) -> Printf.sprintf "cmp %s %s, %s" (string_of_cmpop op) (v a) (v b)
+  | Cast (t, a) -> Printf.sprintf "cast %s to %s" (v a) (string_of_ty t)
+  | Select { cond; if_true; if_false } ->
+    Printf.sprintf "select %s, %s, %s" (v cond) (v if_true) (v if_false)
+  | Phi ops ->
+    let parts =
+      List.map
+        (fun (p, x) -> Printf.sprintf "%s: %s" (Pred.to_string v p) (v x))
+        ops
+    in
+    "phi(" ^ String.concat ", " parts ^ ")"
+  | Mu { init; recur; loop } ->
+    Printf.sprintf "mu(%s, %s) @L%d" (v init) (v recur) loop
+  | Eta { loop; value } -> Printf.sprintf "eta L%d %s" loop (v value)
+  | Load { addr } -> Printf.sprintf "load [%s]" (v addr)
+  | Store { addr; value } -> Printf.sprintf "store [%s], %s" (v addr) (v value)
+  | Call { callee; args; effect } ->
+    let e =
+      match effect with Pure -> "pure " | Readonly -> "readonly " | Impure -> ""
+    in
+    Printf.sprintf "call %s%s(%s)" e callee (String.concat ", " (List.map v args))
+  | Splat a -> Printf.sprintf "splat %s" (v a)
+  | Vecbuild vs -> "vec(" ^ String.concat ", " (List.map v vs) ^ ")"
+  | Extract (a, n) -> Printf.sprintf "extract %s, %d" (v a) n
+
+let string_of_inst f i =
+  let v = value_name f in
+  let lhs = if i.ty = Tvoid then "" else Printf.sprintf "%s = " (v i.id) in
+  Printf.sprintf "%s%s ; %s" lhs (string_of_kind f i.kind)
+    (Pred.to_string v i.ipred)
+
+let to_string f =
+  let buf = Buffer.create 1024 in
+  let v = value_name f in
+  let indent n = String.make (2 * n) ' ' in
+  let rec pp_items depth items =
+    List.iter
+      (fun item ->
+        match item with
+        | I id ->
+          Buffer.add_string buf (indent depth);
+          Buffer.add_string buf (string_of_inst f (inst f id));
+          Buffer.add_char buf '\n'
+        | L lid ->
+          let lp = loop f lid in
+          Buffer.add_string buf (indent depth);
+          Buffer.add_string buf
+            (Printf.sprintf "loop L%d ; %s\n" lp.lid (Pred.to_string v lp.lpred));
+          List.iter
+            (fun m ->
+              Buffer.add_string buf (indent (depth + 1));
+              Buffer.add_string buf (string_of_inst f (inst f m));
+              Buffer.add_char buf '\n')
+            lp.mus;
+          pp_items (depth + 1) lp.body;
+          Buffer.add_string buf (indent depth);
+          Buffer.add_string buf
+            (Printf.sprintf "while %s\n" (Pred.to_string v lp.cont)))
+      items
+  in
+  let params =
+    String.concat ", "
+      (List.map (fun (n, t) -> Printf.sprintf "%s: %s" n (string_of_ty t)) f.params)
+  in
+  Buffer.add_string buf (Printf.sprintf "func %s(%s) {\n" f.fname params);
+  pp_items 1 f.fbody;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let print f = print_string (to_string f)

@@ -1,0 +1,60 @@
+(* Runtime values for the interpreters.  Addresses are plain integers
+   indexing a flat cell heap, which is what lets may-alias pointers
+   actually alias at run time (the whole point of the paper). *)
+
+type t =
+  | VInt of int
+  | VFloat of float
+  | VBool of bool
+  | VVec of t array
+  | VUndef
+
+exception Trap of string
+
+let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
+
+let to_int = function
+  | VInt n -> n
+  | VBool true -> 1
+  | VBool false -> 0
+  | v -> trap "expected int, got %s" (match v with
+      | VFloat _ -> "float" | VVec _ -> "vector" | VUndef -> "undef" | _ -> "?")
+
+let to_float = function
+  | VFloat x -> x
+  | v -> trap "expected float, got %s" (match v with
+      | VInt _ -> "int" | VBool _ -> "bool" | VVec _ -> "vector"
+      | VUndef -> "undef" | _ -> "?")
+
+(* Undefined booleans read as false: a predicate literal that was never
+   computed can only come from a context whose enclosing predicate is
+   already false (see interp.ml), so the overall evaluation is
+   unaffected. *)
+let to_bool = function
+  | VBool b -> b
+  | VInt n -> n <> 0
+  | VUndef -> false
+  | _ -> trap "expected bool"
+
+let is_undef = function VUndef -> true | _ -> false
+
+let rec equal a b =
+  match a, b with
+  | VInt x, VInt y -> x = y
+  | VFloat x, VFloat y ->
+    (* bit-compare: interpreters are deterministic, NaN == NaN here *)
+    Int64.bits_of_float x = Int64.bits_of_float y
+  | VBool x, VBool y -> x = y
+  | VVec x, VVec y ->
+    Array.length x = Array.length y
+    && Array.for_all2 (fun a b -> equal a b) x y
+  | VUndef, VUndef -> true
+  | _ -> false
+
+let rec to_string = function
+  | VInt n -> string_of_int n
+  | VFloat x -> Printf.sprintf "%h" x
+  | VBool b -> string_of_bool b
+  | VVec a ->
+    "<" ^ String.concat ", " (Array.to_list (Array.map to_string a)) ^ ">"
+  | VUndef -> "undef"

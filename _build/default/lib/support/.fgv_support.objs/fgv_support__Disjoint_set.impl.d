@@ -1,0 +1,1 @@
+lib/support/disjoint_set.ml: Array Hashtbl

@@ -1,0 +1,16 @@
+(** Union-find over integers [0, n). *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> unit
+
+val same : t -> int -> int -> bool
+
+val groups : t -> int list list
+(** All equivalence classes; each class sorted ascending. *)

@@ -1,0 +1,48 @@
+(* Plain-text table rendering for the experiment harness.
+   Columns are sized to their widest cell; the first column is
+   left-aligned, all others right-aligned. *)
+
+type t = { header : string list; mutable rows : string list list }
+
+let create header = { header; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let add_sep t = t.rows <- [ "--" ] :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: List.filter (fun r -> r <> [ "--" ]) rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri
+      (fun i cell -> if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+      row
+  in
+  List.iter measure all;
+  let buf = Buffer.create 1024 in
+  let pad i cell =
+    let w = widths.(i) in
+    let n = w - String.length cell in
+    if i = 0 then cell ^ String.make (max 0 n) ' '
+    else String.make (max 0 n) ' ' ^ cell
+  in
+  let emit_row row =
+    let cells = List.mapi pad row in
+    Buffer.add_string buf (String.concat "  " cells);
+    Buffer.add_char buf '\n'
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (2 * (ncols - 1))
+  in
+  let rule () =
+    Buffer.add_string buf (String.make (max 1 total_width) '-');
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.header;
+  rule ();
+  List.iter (fun row -> if row = [ "--" ] then rule () else emit_row row) rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,1 @@
+lib/versioning/api.ml: Condopt Depcond Depgraph Fgv_analysis Fgv_pssa Hashtbl Ir List Materialize Option Plan Scev

@@ -1,0 +1,1 @@
+lib/versioning/api.mli: Condopt Depgraph Fgv_analysis Fgv_pssa Ir Plan Scev

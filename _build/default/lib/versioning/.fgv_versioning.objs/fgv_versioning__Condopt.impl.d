@@ -1,0 +1,1 @@
+lib/versioning/condopt.ml: Alias Depcond Fgv_analysis Fgv_pssa Ir Linexp List Plan Pred Scev

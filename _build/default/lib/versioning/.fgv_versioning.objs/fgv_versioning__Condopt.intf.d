@@ -1,0 +1,1 @@
+lib/versioning/condopt.mli: Depcond Fgv_analysis Fgv_pssa Ir Plan Scev

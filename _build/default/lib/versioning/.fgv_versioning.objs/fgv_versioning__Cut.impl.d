@@ -1,0 +1,1 @@
+lib/versioning/cut.ml: Array Depgraph Fgv_analysis Fgv_graph List

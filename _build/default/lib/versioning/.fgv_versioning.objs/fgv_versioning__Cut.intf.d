@@ -1,0 +1,1 @@
+lib/versioning/cut.mli: Depgraph Fgv_analysis

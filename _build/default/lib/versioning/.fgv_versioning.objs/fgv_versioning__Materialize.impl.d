@@ -1,0 +1,1 @@
+lib/versioning/materialize.ml: Array Condopt Depcond Depgraph Fgv_analysis Fgv_pssa Hashtbl Ir Linexp List Option Plan Pred Printf Scev

@@ -1,0 +1,1 @@
+lib/versioning/materialize.mli: Fgv_pssa Ir Plan

@@ -1,0 +1,1 @@
+lib/versioning/plan.ml: Array Buffer Cut Depcond Depgraph Fgv_analysis Fgv_pssa Ir List Printf String

@@ -1,0 +1,1 @@
+lib/versioning/plan.mli: Depcond Depgraph Fgv_analysis Fgv_pssa Ir

@@ -1,0 +1,179 @@
+(* Optimizations on versioning conditions before materialization
+   (paper SIV-A): redundant condition elimination, condition coalescing,
+   and condition promotion. *)
+
+open Fgv_pssa
+open Fgv_analysis
+
+(* Constant offset between two ranges, defined only when the lower and
+   upper bounds shift by the same amount. *)
+let range_offset (r1 : Scev.range) (r2 : Scev.range) : int option =
+  match Linexp.diff r1.Scev.lo r2.Scev.lo, Linexp.diff r1.Scev.hi r2.Scev.hi with
+  | Some a, Some b when a = b -> Some a
+  | _ -> None
+
+(* Two intersection checks are equivalent when both sides are shifted by
+   the same constant (possibly with the operands swapped). *)
+let atoms_equivalent a b =
+  match a, b with
+  | Depcond.Apred p, Depcond.Apred q -> Pred.equal p q
+  | Depcond.Aintersect (ra, rb), Depcond.Aintersect (rx, ry) ->
+    (match range_offset rx ra, range_offset ry rb with
+    | Some d1, Some d2 when d1 = d2 -> true
+    | _ -> (
+      match range_offset rx rb, range_offset ry ra with
+      | Some d1, Some d2 when d1 = d2 -> true
+      | _ -> false))
+  | _ -> false
+
+(* Redundant condition elimination: keep one representative per
+   equivalence class. *)
+let eliminate_redundant atoms =
+  List.fold_left
+    (fun kept atom ->
+      if List.exists (atoms_equivalent atom) kept then kept else atom :: kept)
+    [] atoms
+  |> List.rev
+
+(* Hull of two ranges whose bounds differ by constants. *)
+let range_hull r1 r2 =
+  let pick_lo =
+    match Linexp.diff r1.Scev.lo r2.Scev.lo with
+    | Some d -> Some (if d <= 0 then r1.Scev.lo else r2.Scev.lo)
+    | None -> None
+  in
+  let pick_hi =
+    match Linexp.diff r1.Scev.hi r2.Scev.hi with
+    | Some d -> Some (if d >= 0 then r1.Scev.hi else r2.Scev.hi)
+    | None -> None
+  in
+  match pick_lo, pick_hi with
+  | Some lo, Some hi -> Some { Scev.lo; hi }
+  | _ -> None
+
+(* Condition coalescing: replace two intersection checks with a single
+   over-approximating check when both sides can be hulled.  The result
+   is cheaper but may fail when the originals would pass, so this runs
+   after redundant-condition elimination (paper SIV-A). *)
+let coalesce atoms =
+  let try_merge a b =
+    match a, b with
+    | Depcond.Aintersect (ra, rb), Depcond.Aintersect (rx, ry) -> (
+      match range_hull ra rx, range_hull rb ry with
+      | Some h1, Some h2 -> Some (Depcond.Aintersect (h1, h2))
+      | _ -> (
+        match range_hull ra ry, range_hull rb rx with
+        | Some h1, Some h2 -> Some (Depcond.Aintersect (h1, h2))
+        | _ -> None))
+    | _ -> None
+  in
+  let rec fixpoint atoms =
+    let rec scan acc = function
+      | [] -> None
+      | atom :: rest -> (
+        let merged =
+          List.find_map
+            (fun other ->
+              match try_merge atom other with
+              | Some m -> Some (other, m)
+              | None -> None)
+            rest
+        in
+        match merged with
+        | Some (other, m) ->
+          Some (acc @ (m :: List.filter (fun x -> x != other) rest))
+        | None -> scan (acc @ [ atom ]) rest)
+    in
+    match scan [] atoms with Some atoms' -> fixpoint atoms' | None -> atoms
+  in
+  fixpoint atoms
+
+(* Condition promotion: rewrite each intersection check so that it no
+   longer depends on the iteration of the given loops (typically the
+   loops enclosing the versioned region), allowing LICM to hoist the
+   check.  Promotion widens ranges using trip counts, so a promoted
+   check can fail where the original passed; checks that cannot be
+   promoted are kept as they are. *)
+(* Best-effort promotion: for each intersection check, widen it out of
+   the deepest prefix of the enclosing loops (innermost first) for which
+   all induction variables are affine with known extents.  Promoting out
+   of even one loop lets LICM hoist and amortize the check. *)
+let promote_best_effort scev ~(enclosing : Ir.loop_id list) atoms =
+  let f = scev.Scev.func in
+  let rec take n l =
+    match l with x :: rest when n > 0 -> x :: take (n - 1) rest | _ -> []
+  in
+  (* try promoting out of all enclosing loops first, then progressively
+     fewer (always including the innermost) *)
+  let n_enc = List.length enclosing in
+  let candidates = List.init n_enc (fun i -> take (n_enc - i) enclosing) in
+  List.map
+    (fun atom ->
+      match atom with
+      | Depcond.Apred _ -> atom
+      | Depcond.Aintersect (r1, r2) ->
+        let range_eq a b =
+          Linexp.equal a.Scev.lo b.Scev.lo && Linexp.equal a.Scev.hi b.Scev.hi
+        in
+        let same_object a b =
+          (* both ranges based on the same pointer argument: intra-object
+             checks, which imprecise promotion must not widen
+             one-sidedly (paper SIV-A) *)
+          List.exists
+            (fun v ->
+              (match (Ir.inst f v).Ir.kind with Ir.Arg _ -> true | _ -> false)
+              && Linexp.mentions b.Scev.lo v)
+            (Linexp.values a.Scev.lo)
+        in
+        let try_with loops =
+          let out_of l = List.mem l loops in
+          match
+            ( Scev.promote_range scev ~out_of r1,
+              Scev.promote_range scev ~out_of r2 )
+          with
+          | Some p1, Some p2 ->
+            (* imprecise promotion is only applied to checks involving
+               different memory objects (paper SIV-A): widening an
+               intra-object check usually makes it always fail (e.g.
+               s131's symbolic distance, floyd-warshall's in-row read);
+               also reject results that statically always overlap *)
+            if same_object r1 r2 && not (range_eq p1 r1 && range_eq p2 r2)
+            then None
+            else if Alias.relate f p1 p2 = Alias.Overlap then None
+            else Some (Depcond.Aintersect (p1, p2))
+          | _ -> None
+        in
+        let rec first = function
+          | [] -> atom
+          | loops :: rest -> (
+            match try_with loops with Some a -> a | None -> first rest)
+        in
+        first candidates)
+    atoms
+
+type config = {
+  redundant_elim : bool;
+  coalescing : bool;
+  promotion : bool;
+}
+
+let default_config = { redundant_elim = true; coalescing = true; promotion = false }
+
+let none_config = { redundant_elim = false; coalescing = false; promotion = false }
+
+(* Optimize a whole plan tree. *)
+let rec optimize_plan ?(config = default_config) scev ~enclosing (p : Plan.t) :
+    Plan.t =
+  let atoms = p.Plan.p_conds in
+  let atoms = if config.redundant_elim then eliminate_redundant atoms else atoms in
+  let atoms = if config.coalescing then coalesce atoms else atoms in
+  let atoms =
+    if config.promotion then promote_best_effort scev ~enclosing atoms
+    else atoms
+  in
+  {
+    p with
+    Plan.p_conds = atoms;
+    p_secondaries =
+      List.map (optimize_plan ~config scev ~enclosing) p.Plan.p_secondaries;
+  }

@@ -1,0 +1,137 @@
+(* Dependence-graph cuts by reduction to min-cut (Fig. 8 of the paper).
+
+   Given node sets S and T of the dependence graph, find a set of
+   *conditional* dependence edges whose removal makes every node of T
+   unreachable from S along dependence edges.  Construction:
+
+   - a DFS from S discovers the relevant subgraph;
+   - every discovered node is split into an in-node and an out-node
+     joined by a high-capacity auxiliary edge; a dependence edge i -> j
+     becomes out(i) -> in(j);
+   - source -> out(s) for s in S, in(t) -> sink for t in T;
+   - conditional edges have capacity 1 (or a profile weight), everything
+     else n+1 where n is the number of unconditional edges discovered.
+
+   If the max-flow exceeds n, separating S from T would require cutting
+   an unconditional dependence: versioning is infeasible. *)
+
+open Fgv_analysis
+
+type result = {
+  cut_edges : Depgraph.edge list; (* conditional edges to sever *)
+  source_nodes : int list;
+  (* dependence-graph nodes on the source side of the cut that can still
+     reach T through the (uncut) dependence graph; these must be
+     versioned together with the input nodes (Fig. 13 line 31) *)
+}
+
+let already_independent = { cut_edges = []; source_nodes = [] }
+
+(* [weight] lets profile information bias the cut toward checking
+   dependencies that are unlikely to occur (paper SIII-A, last
+   paragraph); the default weight 1 minimizes the number of checks. *)
+let find ?(weight = fun (_ : Depgraph.edge) -> 1) (g : Depgraph.t)
+    ~(excluded : int -> bool) ~(s : int list) ~(t : int list) : result option =
+  let succ = Depgraph.dependence_succ g ~excluded in
+  let n_nodes = Array.length g.Depgraph.nodes in
+  (* 1. discover the subgraph reachable from S *)
+  let discovered = Array.make n_nodes false in
+  let rec dfs v =
+    if not discovered.(v) then begin
+      discovered.(v) <- true;
+      List.iter (fun e -> dfs e.Depgraph.e_dst) succ.(v)
+    end
+  in
+  List.iter dfs s;
+  if not (Depgraph.depends_on g ~excluded s t) then Some already_independent
+  else begin
+    (* 2. build the flow network over discovered nodes *)
+    let edges_in_scope =
+      List.filter
+        (fun e ->
+          (not (excluded e.Depgraph.e_id))
+          && discovered.(e.Depgraph.e_src)
+          && discovered.(e.Depgraph.e_dst))
+        (Array.to_list g.Depgraph.edges)
+    in
+    let n_uncond =
+      List.length (List.filter (fun e -> e.Depgraph.e_cond = None) edges_in_scope)
+    in
+    let total_weight =
+      List.fold_left
+        (fun acc e ->
+          acc + match e.Depgraph.e_cond with None -> 0 | Some _ -> weight e)
+        0 edges_in_scope
+    in
+    let big = n_uncond + total_weight + 1 in
+    let in_node k = 2 * k and out_node k = (2 * k) + 1 in
+    let net = Fgv_graph.Maxflow.create (2 * n_nodes) in
+    let source = Fgv_graph.Maxflow.add_node net in
+    let sink = Fgv_graph.Maxflow.add_node net in
+    Array.iteri
+      (fun k disc ->
+        if disc then
+          Fgv_graph.Maxflow.add_edge net ~src:(in_node k) ~dst:(out_node k) ~cap:big)
+      discovered;
+    List.iter
+      (fun e ->
+        let cap =
+          match e.Depgraph.e_cond with None -> big | Some _ -> max 1 (weight e)
+        in
+        Fgv_graph.Maxflow.add_edge ~tag:e.Depgraph.e_id net
+          ~src:(out_node e.Depgraph.e_src) ~dst:(in_node e.Depgraph.e_dst) ~cap)
+      edges_in_scope;
+    List.iter
+      (fun k ->
+        if discovered.(k) then
+          Fgv_graph.Maxflow.add_edge net ~src:source ~dst:(out_node k) ~cap:big)
+      (List.sort_uniq compare s);
+    List.iter
+      (fun k ->
+        if discovered.(k) then
+          Fgv_graph.Maxflow.add_edge net ~src:(in_node k) ~dst:sink ~cap:big)
+      (List.sort_uniq compare t);
+    let flow = Fgv_graph.Maxflow.solve net ~source ~sink in
+    (* a cut consisting solely of conditional edges costs at most
+       [total_weight]; more flow means an unconditional dependence must
+       be severed, so versioning is infeasible *)
+    if flow > total_weight then None
+    else begin
+      (* 3. recover the cut *)
+      let cut_ids = Fgv_graph.Maxflow.cut_edge_tags net ~source in
+      let cut_edges =
+        List.filter (fun e -> List.mem e.Depgraph.e_id cut_ids)
+          (Array.to_list g.Depgraph.edges)
+      in
+      assert (List.for_all (fun e -> e.Depgraph.e_cond <> None) cut_edges);
+      let side = Fgv_graph.Maxflow.source_side net ~source in
+      (* nodes on the source side that can reach T in the (uncut)
+         dependence graph, excluding trivial self-reachability *)
+      let reaches_t =
+        let target = Array.make n_nodes false in
+        List.iter (fun k -> target.(k) <- true) t;
+        let memo = Array.make n_nodes (-1) in
+        (* -1 unknown, 0 no, 1 yes *)
+        let rec reach v =
+          if memo.(v) >= 0 then memo.(v) = 1
+          else begin
+            memo.(v) <- 0;
+            let r =
+              List.exists
+                (fun e -> target.(e.Depgraph.e_dst) || reach e.Depgraph.e_dst)
+                succ.(v)
+            in
+            if r then memo.(v) <- 1;
+            r
+          end
+        in
+        reach
+      in
+      let source_nodes =
+        List.filter
+          (fun k -> discovered.(k) && side.(out_node k) && reaches_t k)
+          (List.init n_nodes (fun k -> k))
+      in
+      Some { cut_edges; source_nodes }
+    end
+  end

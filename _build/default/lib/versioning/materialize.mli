@@ -1,0 +1,34 @@
+(** Materialization of versioning plans into IR (Fig. 14 of the paper).
+
+    Lowers plan trees deepest-secondaries-first: emits one run-time check
+    per unique condition set (computed over a private clone of the
+    check's operand chain — original code is never reordered), clones
+    every versioned node, strengthens the original's predicate with the
+    check and the clone's with its negation, joins values with
+    versioning phis, redirects uses per Fig. 14, prunes phi arms whose
+    gates contradict the asserted conditions, and records
+    scoped-independence facts (the paper's scoped-noalias analogue,
+    SIV-B). *)
+
+open Fgv_pssa
+
+exception Error of string
+(** Internal materialization failure (also used to reject a plan that
+    turns out not to be materializable in the current program state). *)
+
+val run :
+  Ir.func -> Ir.region -> Plan.t list -> bool * (Ir.value_id -> Ir.value_id)
+(** Materialize the plans, one plan tree at a time (later trees see
+    earlier trees' versioning phis in their conditions).
+
+    Returns [(ok, subst)].  [ok = false] means at least one tree had to
+    be skipped: everything that was materialized remains
+    semantics-preserving, but the skipped plans' independence guarantees
+    were NOT established, so the caller must not perform the
+    transformation that requested them.
+
+    [subst] maps each versioned value to its outermost versioning phi —
+    the value valid on every path.  A client that redirects uses to a
+    versioned value (e.g. RLE collapsing a load group onto its leader)
+    MUST redirect to [subst leader], not to the leader itself, whose
+    predicate has been narrowed by the checks. *)

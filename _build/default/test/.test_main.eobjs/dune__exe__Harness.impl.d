@@ -1,0 +1,1 @@
+test/harness.ml: Alcotest Array Fgv_cfg Fgv_frontend Fgv_pssa Interp List Printf Value

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Alias Array Depcond Depgraph Fgv_analysis Fgv_frontend Fgv_pssa Harness Ir Linexp List Option QCheck2 QCheck_alcotest Scev

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Fgv_cfg Float Harness List

@@ -1,0 +1,1 @@
+test/test_condopt.ml: Alcotest Array Builder Depcond Depgraph Fgv_analysis Fgv_frontend Fgv_pssa Fgv_versioning Ir Linexp List Option QCheck2 QCheck_alcotest Scev

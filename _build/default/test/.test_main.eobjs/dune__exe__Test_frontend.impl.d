@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Fgv_frontend Fgv_pssa Float Harness List Printer Printf String

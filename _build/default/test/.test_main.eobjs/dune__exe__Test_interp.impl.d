@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Builder Fgv_pssa Harness Interp Ir List Printf Value

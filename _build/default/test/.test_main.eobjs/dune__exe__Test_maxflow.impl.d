@@ -1,0 +1,1 @@
+test/test_maxflow.ml: Alcotest Array Fgv_graph List QCheck2 QCheck_alcotest Queue

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Fgv_passes Fgv_pssa Float Harness Interp Ir List Printf Value Verifier

@@ -1,0 +1,1 @@
+test/test_pred.ml: Alcotest Fgv_pssa List Pred QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_random.ml: Array Ast Fgv_cfg Fgv_frontend Fgv_passes Fgv_pssa Fgv_versioning Float Harness Interp Ir List Lower_ast Printf QCheck2 QCheck_alcotest String Value Verifier

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Fgv_graph Fgv_support List Option String

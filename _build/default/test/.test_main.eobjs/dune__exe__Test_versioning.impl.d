@@ -1,0 +1,1 @@
+test/test_versioning.ml: Alcotest Array Depcond Depgraph Fgv_analysis Fgv_pssa Fgv_versioning Harness Interp Ir List Option Pred Printer Scev String Value Verifier

@@ -1,0 +1,45 @@
+(* Shared helpers for the test suites: compiling kernels, building
+   memories, running both interpreters, and comparing outcomes. *)
+
+open Fgv_pssa
+
+let compile = Fgv_frontend.Lower_ast.compile
+
+let float_mem n f = Array.init n (fun i -> Value.VFloat (f i))
+
+let ints xs = List.map (fun n -> Value.VInt n) xs
+
+let float_at mem i =
+  match mem.(i) with
+  | Value.VFloat x -> x
+  | v -> Alcotest.failf "expected float at %d, got %s" i (Value.to_string v)
+
+(* Run a PSSA function on a *copy* of the given memory. *)
+let run_pssa ?ffi f ~args ~mem = Interp.run ?ffi f ~args ~mem:(Array.copy mem)
+
+(* Lower to CFG and run on a copy of the given memory. *)
+let run_cfg ?ffi f ~args ~mem =
+  let prog = Fgv_cfg.Lower.lower f in
+  Fgv_cfg.Cinterp.run ?ffi prog ~args ~mem:(Array.copy mem)
+
+let check_mem_floats msg expected (outcome : Interp.outcome) =
+  List.iteri
+    (fun i x ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "%s[%d]" msg i)
+        x
+        (float_at outcome.memory i))
+    expected
+
+(* Compare a PSSA outcome with a CFG outcome observationally: same final
+   memory, same external calls in the same order. *)
+let cross_equivalent (a : Interp.outcome) (b : Fgv_cfg.Cinterp.outcome) =
+  Array.length a.memory = Array.length b.memory
+  && Array.for_all2 Value.equal a.memory b.memory
+  && List.length a.call_trace = List.length b.call_trace
+  && List.for_all2
+       (fun (n1, a1) (n2, a2) ->
+         n1 = n2
+         && List.length a1 = List.length a2
+         && List.for_all2 Value.equal a1 a2)
+       a.call_trace b.call_trace

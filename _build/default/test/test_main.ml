@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "fgv"
+    [
+      ("support", Test_support.suite);
+      ("pred", Test_pred.suite);
+      ("maxflow", Test_maxflow.suite);
+      ("frontend", Test_frontend.suite);
+      ("cfg", Test_cfg.suite);
+      ("versioning", Test_versioning.suite);
+      ("passes", Test_passes.suite);
+      ("analysis", Test_analysis.suite);
+      ("random", Test_random.suite);
+      ("condopt", Test_condopt.suite);
+      ("interp", Test_interp.suite);
+    ]

@@ -1,0 +1,315 @@
+(* Pass and pipeline tests.
+
+   The master property: every pipeline preserves observational behaviour
+   (final memory + external call trace) on every kernel and input.  On
+   top of that, targeted tests check that the transformations actually
+   fire: SLP emits vector stores, versioning enables vectorization that
+   static SLP rejects, RLE removes dynamic loads, etc. *)
+
+open Fgv_pssa
+open Harness
+module P = Fgv_passes
+
+let saxpy_src =
+  {|
+  kernel saxpy(float* a, float* b, float* c, int n, float x) {
+    for (int i = 0; i < n; i = i + 1) {
+      a[i] = x * b[i] + c[i];
+    }
+  }
+|}
+
+let sum_src =
+  {|
+  kernel sum(float* a, float* out, int n) {
+    float s = 0.0;
+    for (int i = 0; i < n; i = i + 1) { s = s + a[i]; }
+    out[0] = s;
+  }
+|}
+
+let s281_src =
+  {|
+  kernel s281(float* a, float* b, float* c, int n) {
+    for (int i = 0; i < n; i = i + 1) {
+      float x = a[n - i - 1] + b[i] * c[i];
+      a[i] = x - 1.0;
+      b[i] = x;
+    }
+  }
+|}
+
+let s258_src =
+  {|
+  kernel s258(float* a, float* b, float* c, float* d, float* e, float* aa, int n) {
+    float s = 0.0;
+    for (int i = 0; i < n; i = i + 1) {
+      if (a[i] > 0.0) { s = d[i] * d[i]; }
+      b[i] = s * c[i] + d[i];
+      e[i] = (s + 1.0) * aa[i];
+    }
+  }
+|}
+
+let fw_src =
+  {|
+  kernel floyd(float* path, int n) {
+    for (int k = 0; k < n; k = k + 1) {
+      for (int i = 0; i < n; i = i + 1) {
+        for (int j = 0; j < n; j = j + 1) {
+          float alt = path[i * n + k] + path[k * n + j];
+          path[i * n + j] = path[i * n + j] < alt ? path[i * n + j] : alt;
+        }
+      }
+    }
+  }
+|}
+
+let redundant_loads_src =
+  {|
+  kernel reload(float* a, float* b, float* out, int n) {
+    for (int i = 0; i < n; i = i + 1) {
+      float x = a[0];
+      b[i] = x * 2.0;
+      float y = a[0];
+      out[i] = y + x;
+    }
+  }
+|}
+
+(* (name, source, argument sets, heap size) *)
+let kernels =
+  [
+    ("saxpy disjoint", saxpy_src,
+     [ [ Value.VInt 0; VInt 32; VInt 64; VInt 13; VFloat 2.5 ];
+       [ VInt 0; VInt 32; VInt 64; VInt 0; VFloat 2.5 ];
+       [ VInt 0; VInt 32; VInt 64; VInt 4; VFloat 2.5 ] ], 128);
+    ("saxpy aliased", saxpy_src,
+     [ [ Value.VInt 0; VInt 1; VInt 2; VInt 13; VFloat 1.5 ];
+       [ VInt 4; VInt 4; VInt 4; VInt 8; VFloat 0.5 ] ], 128);
+    ("sum", sum_src, [ ints [ 0; 100; 17 ]; ints [ 0; 100; 3 ] ], 128);
+    ("s281", s281_src,
+     [ ints [ 0; 40; 80; 12 ]; ints [ 0; 40; 80; 5 ] ], 128);
+    ("s258", s258_src,
+     [ ints [ 0; 16; 32; 48; 64; 80; 12 ] ], 128);
+    ("floyd-warshall", fw_src, [ ints [ 0; 5 ]; ints [ 0; 4 ] ], 128);
+    ("redundant loads", redundant_loads_src,
+     [ ints [ 0; 8; 40; 8 ]; ints [ 0; 1; 40; 8 ] ], 128);
+  ]
+
+let mem_for size = float_mem size (fun i -> Float.of_int ((i * 13 mod 29) - 7) *. 0.5)
+
+let pipelines : (string * (Ir.func -> unit)) list =
+  [
+    ("o3_novec", fun f -> ignore (P.Pipelines.o3_novec f));
+    ("o3", fun f -> ignore (P.Pipelines.o3 f));
+    ("sv", fun f -> ignore (P.Pipelines.sv f));
+    ("sv+versioning", fun f -> ignore (P.Pipelines.sv_versioning f));
+    ("sv+versioning nopromo",
+     fun f -> ignore (P.Pipelines.sv_versioning ~promotion:false f));
+    ("rle", fun f -> ignore (P.Pipelines.rle_pipeline f));
+    ("rle static", fun f -> ignore (P.Pipelines.rle_pipeline ~versioning:false f));
+  ]
+
+let test_pipelines_preserve_semantics () =
+  List.iter
+    (fun (kname, src, arg_sets, size) ->
+      let reference = compile src in
+      List.iter
+        (fun (pname, pipeline) ->
+          let f = compile src in
+          pipeline f;
+          (match Verifier.verify_or_message f with
+          | None -> ()
+          | Some msg ->
+            Alcotest.failf "%s on %s: ill-formed IR: %s" pname kname msg);
+          List.iter
+            (fun args ->
+              let mem = mem_for size in
+              let a = run_pssa reference ~args ~mem in
+              let b = run_pssa f ~args ~mem in
+              if not (Interp.equivalent a b) then
+                Alcotest.failf "%s changed behaviour of %s" pname kname)
+            arg_sets)
+        pipelines)
+    kernels
+
+let test_pipelines_preserve_semantics_cfg () =
+  (* the optimized program must also survive CFG lowering *)
+  List.iter
+    (fun (kname, src, arg_sets, size) ->
+      let reference = compile src in
+      let f = compile src in
+      ignore (P.Pipelines.sv_versioning f);
+      List.iter
+        (fun args ->
+          let mem = mem_for size in
+          let a = run_pssa reference ~args ~mem in
+          let b = run_cfg f ~args ~mem in
+          if not (cross_equivalent a b) then
+            Alcotest.failf "CFG of sv_versioning(%s) differs" kname)
+        arg_sets)
+    kernels
+
+let test_unroll_trips () =
+  let f0 = compile sum_src in
+  List.iter
+    (fun n ->
+      let f = compile sum_src in
+      let unrolled = P.Unroll.run ~factor:4 f in
+      Alcotest.(check int) "one loop unrolled" 1 unrolled;
+      (match Verifier.verify_or_message f with
+      | None -> ()
+      | Some m -> Alcotest.failf "unroll broke IR: %s" m);
+      let mem = mem_for 64 in
+      let a = run_pssa f0 ~args:(ints [ 0; 40; n ]) ~mem in
+      let b = run_pssa f ~args:(ints [ 0; 40; n ]) ~mem in
+      if not (Interp.equivalent a b) then
+        Alcotest.failf "unroll changed behaviour at trip %d" n)
+    [ 0; 1; 3; 4; 5; 8; 17 ]
+
+let test_slp_vectorizes_disjoint () =
+  (* restrict-qualified saxpy: static SLP alone should vectorize *)
+  let src =
+    {|
+    kernel saxpy(float* restrict a, float* restrict b, float* restrict c, int n, float x) {
+      for (int i = 0; i < n; i = i + 1) { a[i] = x * b[i] + c[i]; }
+    }
+  |}
+  in
+  let f = compile src in
+  ignore (P.Pipelines.sv f);
+  let mem = mem_for 128 in
+  let out = run_pssa f ~args:[ VInt 0; VInt 32; VInt 64; VInt 16; VFloat 2.0 ] ~mem in
+  Alcotest.(check bool) "vector stores executed" true
+    (out.counters.vector_stores > 0)
+
+let test_versioning_beats_static_slp () =
+  (* without restrict, static SLP must reject (may-alias crossers), while
+     versioning vectorizes with run-time checks *)
+  let f_static = compile saxpy_src in
+  ignore (P.Pipelines.sv f_static);
+  let f_versioned = compile saxpy_src in
+  ignore (P.Pipelines.sv_versioning f_versioned);
+  let args = [ Value.VInt 0; VInt 32; VInt 64; VInt 16; VFloat 2.0 ] in
+  let out_s = run_pssa f_static ~args ~mem:(mem_for 128) in
+  let out_v = run_pssa f_versioned ~args ~mem:(mem_for 128) in
+  Alcotest.(check int) "static SLP cannot vectorize may-alias saxpy" 0
+    out_s.counters.vector_stores;
+  Alcotest.(check bool) "versioned SLP vectorizes it" true
+    (out_v.counters.vector_stores > 0)
+
+let test_loopvec_classic () =
+  (* the classic loop vectorizer handles may-alias saxpy with upfront
+     checks *)
+  let f = compile saxpy_src in
+  let stats = ignore (P.Pipelines.o3_novec f); P.Loopvec.run f in
+  Alcotest.(check int) "one loop vectorized" 1 stats.P.Loopvec.loops_vectorized;
+  let args = [ Value.VInt 0; VInt 32; VInt 64; VInt 16; VFloat 2.0 ] in
+  let out = run_pssa f ~args ~mem:(mem_for 128) in
+  Alcotest.(check bool) "vector stores" true (out.counters.vector_stores > 0);
+  (* aliased inputs fall back to the scalar clone *)
+  let out2 = run_pssa f ~args:[ VInt 0; VInt 1; VInt 2; VInt 16; VFloat 2.0 ] ~mem:(mem_for 128) in
+  Alcotest.(check int) "aliased: no vector stores" 0 out2.counters.vector_stores
+
+let test_loopvec_rejects_floyd () =
+  (* classic loop versioning cannot handle the in-place update pattern:
+     the upfront whole-range checks always fail (the read and written
+     rows overlap whenever i = k, and path[i][k] always falls in the
+     written row's window), so the vector body never executes *)
+  let f = compile fw_src in
+  ignore (P.Pipelines.o3_novec f);
+  ignore (P.Loopvec.run f);
+  let out = run_pssa f ~args:(ints [ 0; 8 ]) ~mem:(mem_for 128) in
+  Alcotest.(check int) "floyd-warshall never runs vector code" 0
+    out.counters.vector_stores
+
+let test_sv_versioning_vectorizes_floyd () =
+  let f = compile fw_src in
+  ignore (P.Pipelines.sv_versioning f);
+  let out = run_pssa f ~args:(ints [ 0; 8 ]) ~mem:(mem_for 128) in
+  Alcotest.(check bool) "floyd-warshall vectorized with versioning" true
+    (out.counters.vector_stores > 0)
+
+let test_rle_removes_loads () =
+  let f_base = compile redundant_loads_src in
+  ignore (P.Pipelines.rle_baseline f_base);
+  let f_rle = compile redundant_loads_src in
+  ignore (P.Pipelines.rle_pipeline f_rle);
+  let args = ints [ 0; 8; 40; 8 ] in
+  let out_base = run_pssa f_base ~args ~mem:(mem_for 64) in
+  let out_rle = run_pssa f_rle ~args ~mem:(mem_for 64) in
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer dynamic loads (%d -> %d)" out_base.counters.loads
+       out_rle.counters.loads)
+    true
+    (out_rle.counters.loads < out_base.counters.loads)
+
+let test_dce_removes_dead () =
+  let f = compile "kernel dead(float* a) { float x = 1.0 + 2.0; a[0] = 3.0; }" in
+  let n = P.Dce.run f in
+  Alcotest.(check bool) "removed something" true (n > 0);
+  (match Verifier.verify_or_message f with
+  | None -> ()
+  | Some m -> Alcotest.failf "DCE broke IR: %s" m)
+
+let test_constfold () =
+  let f = compile "kernel cf(float* a) { int i = 2 * 3 + 1; a[i] = 4.0; }" in
+  ignore (P.Constfold.run f);
+  ignore (P.Dce.run f);
+  let out = run_pssa f ~args:(ints [ 0 ]) ~mem:(mem_for 16) in
+  Alcotest.(check (float 1e-9)) "a[7]" 4.0 (float_at out.memory 7)
+
+let test_gvn_dedups () =
+  let f =
+    compile
+      {|
+      kernel g(float* a, float* b) {
+        float x = a[0] * 2.0;
+        float y = a[0] * 2.0;
+        b[0] = x + y;
+      }
+    |}
+  in
+  let n = P.Gvn.run f in
+  Alcotest.(check bool) "gvn found redundancy" true (n > 0);
+  ignore (P.Dce.run f);
+  let out = run_pssa f ~args:(ints [ 0; 4 ]) ~mem:(float_mem 8 (fun _ -> 3.0)) in
+  Alcotest.(check (float 1e-9)) "b[0]" 12.0 (float_at out.memory 4)
+
+let test_licm_hoists () =
+  let f =
+    compile
+      {|
+      kernel l(float* a, int n, float x) {
+        for (int i = 0; i < n; i = i + 1) { a[i] = x * x; }
+      }
+    |}
+  in
+  let n = P.Licm.run f in
+  Alcotest.(check bool) "hoisted the multiply" true (n > 0);
+  let out = run_pssa f ~args:[ VInt 0; VInt 5; VFloat 3.0 ] ~mem:(mem_for 16) in
+  Alcotest.(check (float 1e-9)) "a[4]" 9.0 (float_at out.memory 4)
+
+let suite =
+  [
+    Alcotest.test_case "pipelines preserve semantics" `Quick
+      test_pipelines_preserve_semantics;
+    Alcotest.test_case "pipelines preserve semantics (CFG)" `Quick
+      test_pipelines_preserve_semantics_cfg;
+    Alcotest.test_case "unroll across trip counts" `Quick test_unroll_trips;
+    Alcotest.test_case "static SLP on restrict saxpy" `Quick
+      test_slp_vectorizes_disjoint;
+    Alcotest.test_case "versioning beats static SLP" `Quick
+      test_versioning_beats_static_slp;
+    Alcotest.test_case "classic loop vectorizer" `Quick test_loopvec_classic;
+    Alcotest.test_case "classic versioning rejects floyd-warshall" `Quick
+      test_loopvec_rejects_floyd;
+    Alcotest.test_case "fine-grained versioning vectorizes floyd-warshall"
+      `Quick test_sv_versioning_vectorizes_floyd;
+    Alcotest.test_case "RLE removes dynamic loads" `Quick test_rle_removes_loads;
+    Alcotest.test_case "DCE" `Quick test_dce_removes_dead;
+    Alcotest.test_case "constant folding" `Quick test_constfold;
+    Alcotest.test_case "GVN" `Quick test_gvn_dedups;
+    Alcotest.test_case "LICM" `Quick test_licm_hoists;
+  ]
