@@ -5,13 +5,21 @@
    sanity check that the cost model's direction agrees with real time.
 
    Usage:
-     dune exec bench/main.exe               # everything
-     dune exec bench/main.exe -- fig16      # one table
-     dune exec bench/main.exe -- wallclock  # Bechamel timings only
-*)
+     dune exec bench/main.exe                         # everything
+     dune exec bench/main.exe -- fig16                # one table
+     dune exec bench/main.exe -- wallclock            # Bechamel timings only
+     dune exec bench/main.exe -- all --json FILE      # also write FILE as
+                                                      # machine-readable JSON
+
+   The JSON document (see README "Benchmark JSON schema") carries the
+   per-figure speedup rows plus the telemetry counters the versioning
+   framework recorded while producing each figure — plans inferred,
+   checks emitted, cut sizes, condition-optimization work — so the perf
+   trajectory can be tracked across commits without scraping tables. *)
 
 module E = Fgv_bench.Experiments
 module W = Fgv_bench.Workload
+module Tm = Fgv_support.Telemetry
 open Fgv_pssa
 
 let section title body =
@@ -80,36 +88,178 @@ let wallclock () =
     results;
   print_newline ()
 
+(* ------------------------------------------------------- JSON figures *)
+
+let json_figures : (string * Tm.json) list ref = ref []
+
+let add_figure name doc = json_figures := (name, doc) :: !json_figures
+
+let counters_json delta = Tm.Assoc (List.map (fun (n, v) -> (n, Tm.Int v)) delta)
+
+let geomean f rows = Fgv_support.Stats.geomean (List.map f rows)
+
+(* Run one figure's row computation under a telemetry capture: the text
+   table still prints, and the captured counter delta (the framework
+   work attributable to this figure alone) lands in the JSON document. *)
+let run_fig19 () =
+  let rows, delta = Tm.capture (fun () -> E.tsvc_rows ()) in
+  section "E2 / Fig. 19 (TSVC)" (E.fig19_of_rows rows);
+  add_figure "fig19"
+    (Tm.Assoc
+       [
+         ( "rows",
+           Tm.List
+             (List.map
+                (fun (r : E.tsvc_row) ->
+                  Tm.Assoc
+                    [
+                      ("name", Tm.String r.E.t_name);
+                      ("sv", Tm.Float r.E.t_sv);
+                      ("sv_versioning", Tm.Float r.E.t_svv);
+                      ("newly_vectorized", Tm.Bool r.E.t_newly_vectorized);
+                    ])
+                rows) );
+         ( "geomean",
+           Tm.Assoc
+             [
+               ("sv", Tm.Float (geomean (fun r -> r.E.t_sv) rows));
+               ("sv_versioning", Tm.Float (geomean (fun r -> r.E.t_svv) rows));
+             ] );
+         ("counters", counters_json delta);
+       ])
+
+let poly_json (rows : E.poly_row list) =
+  Tm.Assoc
+    [
+      ( "rows",
+        Tm.List
+          (List.map
+             (fun (r : E.poly_row) ->
+               Tm.Assoc
+                 [
+                   ("name", Tm.String r.E.p_name);
+                   ("o3", Tm.Float r.E.p_o3);
+                   ("sv", Tm.Float r.E.p_sv);
+                   ("sv_versioning", Tm.Float r.E.p_svv);
+                   ("newly_vectorized", Tm.Bool r.E.p_newly);
+                 ])
+             rows) );
+      ( "geomean",
+        Tm.Assoc
+          [
+            ("o3", Tm.Float (geomean (fun r -> r.E.p_o3) rows));
+            ("sv", Tm.Float (geomean (fun r -> r.E.p_sv) rows));
+            ("sv_versioning", Tm.Float (geomean (fun r -> r.E.p_svv) rows));
+          ] );
+    ]
+
+let run_fig16 () =
+  let (off_rows, on_rows), delta =
+    Tm.capture (fun () ->
+        (E.polybench_rows ~restrict:false (), E.polybench_rows ~restrict:true ()))
+  in
+  section "E1 / Fig. 16 (PolyBench)"
+    (E.fig16_of_rows ~restrict:false off_rows
+    ^ "\n"
+    ^ E.fig16_of_rows ~restrict:true on_rows
+    ^ "paper: restrict OFF geomeans SV+V 1.65x over scalar / 1.50x over -O3;\n\
+       restrict ON 1.76x / 1.51x; versioning newly vectorizes correlation,\n\
+       covariance, floyd-warshall, lu, ludcmp\n");
+  add_figure "fig16"
+    (Tm.Assoc
+       [
+         ("restrict_off", poly_json off_rows);
+         ("restrict_on", poly_json on_rows);
+         ("counters", counters_json delta);
+       ])
+
+let run_fig22 () =
+  let rows, delta = Tm.capture (fun () -> E.rle_rows ()) in
+  section "E5 / Fig. 22 (SPEC FP surrogates, RLE)" (E.fig22_of_rows rows);
+  add_figure "fig22"
+    (Tm.Assoc
+       [
+         ( "rows",
+           Tm.List
+             (List.map
+                (fun (r : E.rle_row) ->
+                  Tm.Assoc
+                    [
+                      ("name", Tm.String r.E.f_name);
+                      ("speedup", Tm.Float r.E.f_speedup);
+                      ("loads_eliminated", Tm.Float r.E.f_loads_eliminated);
+                      ("branches_increase", Tm.Float r.E.f_branches_increase);
+                      ("licm_extra", Tm.Float r.E.f_licm_extra);
+                      ("gvn_extra", Tm.Float r.E.f_gvn_extra);
+                      ("size_increase", Tm.Float r.E.f_size_increase);
+                    ])
+                rows) );
+         ( "geomean",
+           Tm.Assoc
+             [ ("speedup", Tm.Float (geomean (fun r -> r.E.f_speedup) rows)) ] );
+         ("counters", counters_json delta);
+       ])
+
+let write_json file =
+  let doc =
+    Tm.Assoc
+      [
+        ("schema_version", Tm.Int 1);
+        ("suite", Tm.String "fgv-bench");
+        ("figures", Tm.Assoc (List.rev !json_figures));
+        ("telemetry", Tm.snapshot ());
+      ]
+  in
+  let oc = open_out file in
+  output_string oc (Tm.json_to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" file
+
+(* --------------------------------------------------------------- main *)
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [fig16|fig19|fig22|s258|ablation-mincut|ablation-condopt|\
+     wallclock|all]... [--json FILE]\n";
+  exit 1
+
 let () =
-  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  let run_fig19 () = section "E2 / Fig. 19 (TSVC)" (E.fig19 ()) in
-  let run_fig16 () = section "E1 / Fig. 16 (PolyBench)" (E.fig16 ()) in
-  let run_fig22 () = section "E5 / Fig. 22 (SPEC FP surrogates, RLE)" (E.fig22 ()) in
+  let rec parse sel json = function
+    | [] -> (List.rev sel, json)
+    | "--json" :: file :: rest -> parse sel (Some file) rest
+    | [ "--json" ] ->
+      Printf.eprintf "--json requires a file argument\n";
+      exit 1
+    | a :: rest -> parse (a :: sel) json rest
+  in
+  let sel, json_file = parse [] None (List.tl (Array.to_list Sys.argv)) in
+  let sel = if sel = [] then [ "all" ] else sel in
   let run_s258 () = section "E4 / s258 speculation" (E.s258_speculation ()) in
   let run_a1 () = section "A1 / min-cut ablation" (E.ablation_mincut ()) in
   let run_a2 () =
     section "A2 / condition-optimization ablation" (E.ablation_condopt ())
   in
-  match what with
-  | "fig19" | "tsvc" -> run_fig19 ()
-  | "fig16" | "polybench" -> run_fig16 ()
-  | "fig22" | "rle" | "specfp" -> run_fig22 ()
-  | "s258" -> run_s258 ()
-  | "ablation-mincut" -> run_a1 ()
-  | "ablation-condopt" -> run_a2 ()
-  | "wallclock" -> wallclock ()
-  | "all" ->
-    run_fig19 ();
-    run_fig16 ();
-    run_fig22 ();
-    run_s258 ();
-    run_a1 ();
-    run_a2 ();
-    section "Wall-clock sanity (Bechamel)" "";
-    wallclock ()
-  | other ->
-    Printf.eprintf
-      "unknown table %s (try: fig16 fig19 fig22 s258 ablation-mincut \
-       ablation-condopt wallclock all)\n"
-      other;
-    exit 1
+  let run_one = function
+    | "fig19" | "tsvc" -> run_fig19 ()
+    | "fig16" | "polybench" -> run_fig16 ()
+    | "fig22" | "rle" | "specfp" -> run_fig22 ()
+    | "s258" -> run_s258 ()
+    | "ablation-mincut" -> run_a1 ()
+    | "ablation-condopt" -> run_a2 ()
+    | "wallclock" -> wallclock ()
+    | "all" ->
+      run_fig19 ();
+      run_fig16 ();
+      run_fig22 ();
+      run_s258 ();
+      run_a1 ();
+      run_a2 ();
+      section "Wall-clock sanity (Bechamel)" "";
+      wallclock ()
+    | other ->
+      Printf.eprintf "unknown table %s\n" other;
+      usage ()
+  in
+  List.iter run_one sel;
+  Option.iter write_json json_file

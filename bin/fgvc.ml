@@ -10,6 +10,7 @@
 open Cmdliner
 open Fgv_pssa
 module P = Fgv_passes
+module Tm = Fgv_support.Telemetry
 
 let pipelines : (string * (Ir.func -> unit)) list =
   [
@@ -22,7 +23,7 @@ let pipelines : (string * (Ir.func -> unit)) list =
     ("rle-static", fun f -> ignore (P.Pipelines.rle_pipeline ~versioning:false f));
   ]
 
-let run_driver file pipeline dump_ir dump_cfg run args heap no_restrict =
+let run_driver file pipeline dump_ir dump_cfg run args heap no_restrict stats =
   let source =
     let ic = open_in file in
     let n = in_channel_length ic in
@@ -72,6 +73,13 @@ let run_driver file pipeline dump_ir dump_cfg run args heap no_restrict =
       c.Interp.vector_loads c.Interp.stores c.Interp.vector_stores
       c.Interp.calls c.Interp.iterations
   end;
+  (match stats with
+  | None -> ()
+  | Some "json" -> print_endline (Tm.json_to_string (Tm.snapshot ()))
+  | Some "text" -> print_string (Tm.report ())
+  | Some other ->
+    Printf.eprintf "unknown --stats format %s (expected text or json)\n" other;
+    exit 2);
   0
 
 let file =
@@ -100,12 +108,22 @@ let heap_opt =
 let no_restrict =
   Arg.(value & flag & info [ "no-restrict" ] ~doc:"ignore restrict qualifiers")
 
+let stats_opt =
+  Arg.(
+    value
+    & opt ~vopt:(Some "text") (some string) None
+    & info [ "stats" ] ~docv:"FMT"
+        ~doc:
+          "print the telemetry counters and timers the compile recorded \
+           (plans, checks, cut sizes, condition optimizations, pass work); \
+           $(docv) is $(b,text) (default) or $(b,json)")
+
 let cmd =
   let doc = "compile and run mini-C kernels with fine-grained program versioning" in
   Cmd.v
     (Cmd.info "fgvc" ~doc)
     Term.(
       const run_driver $ file $ pipeline $ dump_ir $ dump_cfg $ run_flag
-      $ args_opt $ heap_opt $ no_restrict)
+      $ args_opt $ heap_opt $ no_restrict $ stats_opt)
 
 let () = exit (Cmd.eval' cmd)

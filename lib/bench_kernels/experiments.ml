@@ -47,8 +47,7 @@ let tsvc_rows ?(check = true) () : tsvc_row list =
       })
     Tsvc.kernels
 
-let fig19 ?check () : string =
-  let rows = tsvc_rows ?check () in
+let fig19_of_rows (rows : tsvc_row list) : string =
   let t = Table.create [ "TSVC loop"; "SV"; "SV+versioning"; "newly vectorized" ] in
   List.iter
     (fun r ->
@@ -66,6 +65,8 @@ let fig19 ?check () : string =
       "versioning newly vectorizes %d loops; paper: SV 1.09x, SV+V 1.17x, 13 \
        loops\n"
       newly
+
+let fig19 ?check () : string = fig19_of_rows (tsvc_rows ?check ())
 
 (* ------------------------------------------------------------ Fig. 16 *)
 
@@ -100,8 +101,7 @@ let polybench_rows ?(check = true) ~restrict () : poly_row list =
       })
     Polybench.kernels
 
-let fig16_one ?check ~restrict () : string =
-  let rows = polybench_rows ?check ~restrict () in
+let fig16_of_rows ~restrict (rows : poly_row list) : string =
   let t =
     Table.create [ "PolyBench kernel"; "O3"; "SV"; "SV+versioning"; "newly vec." ]
   in
@@ -120,6 +120,9 @@ let fig16_one ?check ~restrict () : string =
     "Fig. 16 — PolyBench speedup over -O3-without-vectorization (restrict %s)\n"
     (if restrict then "ON" else "OFF")
   ^ Table.render t
+
+let fig16_one ?check ~restrict () : string =
+  fig16_of_rows ~restrict (polybench_rows ?check ~restrict ())
 
 let fig16 ?check () : string =
   fig16_one ?check ~restrict:false ()
@@ -175,8 +178,7 @@ let rle_rows ?(check = true) () : rle_row list =
       })
     Specfp.kernels
 
-let fig22 ?check () : string =
-  let rows = rle_rows ?check () in
+let fig22_of_rows (rows : rle_row list) : string =
   let t =
     Table.create
       [ "benchmark"; "speedup"; "loads elim."; "branches+"; "LICM+"; "GVN+";
@@ -205,6 +207,8 @@ let fig22 ?check () : string =
   ^ "paper: speedup geomean +1.2% (lbm +6.4%, blender +4.7%), 4.8% loads\n\
      eliminated, 5.5% more branches, 6.4% more LICM hoists, 8.5% more GVN\n\
      deletions, 2.3% code growth\n"
+
+let fig22 ?check () : string = fig22_of_rows (rle_rows ?check ())
 
 (* ------------------------------------------- s258 speculation (SV-A2) *)
 

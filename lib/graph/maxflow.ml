@@ -19,9 +19,11 @@ type t = {
   mutable adj : edge array array;   (* filled at [solve] time *)
   mutable staged : (int * int * int * int) list;  (* src, dst, cap, tag *)
   mutable frozen : bool;
+  mutable augmenting : int;         (* augmenting paths found by [solve] *)
 }
 
-let create n = { nodes = n; adj = [||]; staged = []; frozen = false }
+let create n =
+  { nodes = n; adj = [||]; staged = []; frozen = false; augmenting = 0 }
 
 let add_node t =
   if t.frozen then invalid_arg "Maxflow.add_node: already solved";
@@ -108,10 +110,13 @@ let solve t ~source ~sink =
     let pushed = ref (dfs t ~sink level iter source max_int) in
     while !pushed > 0 do
       flow := !flow + !pushed;
+      t.augmenting <- t.augmenting + 1;
       pushed := dfs t ~sink level iter source max_int
     done
   done;
   !flow
+
+let augmenting_paths t = t.augmenting
 
 (* Source side of the min cut: nodes reachable from the source in the
    residual graph.  Must be called after [solve]. *)

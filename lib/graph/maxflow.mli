@@ -19,6 +19,10 @@ val add_edge : ?tag:int -> t -> src:int -> dst:int -> cap:int -> unit
 val solve : t -> source:int -> sink:int -> int
 (** Maximum flow value. Freezes the network. *)
 
+val augmenting_paths : t -> int
+(** Number of augmenting paths {!solve} pushed flow along (0 before
+    solving) — the work metric the telemetry layer reports. *)
+
 val source_side : t -> source:int -> bool array
 (** Nodes on the source side of the minimum cut (residual reachability). *)
 

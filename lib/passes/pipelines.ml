@@ -9,9 +9,15 @@
      unroll-by-VL of innermost loops and the static SLP packer.
    - [sv_versioning]: the paper's configuration: as [sv] but the packer
      consults the fine-grained versioning framework.
-   - [rle_*]: the redundant-load-elimination pipelines of Fig. 22. *)
+   - [rle_*]: the redundant-load-elimination pipelines of Fig. 22.
+
+   Every pass reports its work through the {!Fgv_support.Telemetry}
+   registry (names "pass.<pass>.<metric>"), uniformly with the
+   versioning framework's own counters; the [pass_stats] record remains
+   as a cheap per-run view for harness code that compares two runs. *)
 
 open Fgv_pssa
+module Tm = Fgv_support.Telemetry
 
 type pass_stats = {
   mutable licm_hoisted : int;
@@ -38,51 +44,64 @@ let new_pass_stats () =
 
 let cleanup f stats =
   ignore (Constfold.run f);
-  stats.dce_removed <- stats.dce_removed + Dce.run f
+  let n = Dce.run f in
+  stats.dce_removed <- stats.dce_removed + n;
+  Tm.incr ~by:n "pass.dce.removed"
 
 let scalar_passes f stats =
   ignore (Constfold.run f);
-  stats.gvn_deleted <- stats.gvn_deleted + Gvn.run f;
-  stats.licm_hoisted <- stats.licm_hoisted + Licm.run f;
+  let g = Gvn.run f in
+  stats.gvn_deleted <- stats.gvn_deleted + g;
+  Tm.incr ~by:g "pass.gvn.deleted";
+  let h = Licm.run f in
+  stats.licm_hoisted <- stats.licm_hoisted + h;
+  Tm.incr ~by:h "pass.licm.hoisted";
   cleanup f stats
 
 let o3_novec (f : Ir.func) : pass_stats =
-  let stats = new_pass_stats () in
-  scalar_passes f stats;
-  stats
+  Tm.time "pipeline.o3_novec" (fun () ->
+      let stats = new_pass_stats () in
+      scalar_passes f stats;
+      stats)
 
 let o3 ?(vl = 4) (f : Ir.func) : pass_stats =
-  let stats = new_pass_stats () in
-  scalar_passes f stats;
-  ignore (Ifconv.run f);
-  let ls = Loopvec.run ~vl f in
-  stats.loops_vectorized <- ls.Loopvec.loops_vectorized;
-  scalar_passes f stats;
-  stats
+  Tm.time "pipeline.o3" (fun () ->
+      let stats = new_pass_stats () in
+      scalar_passes f stats;
+      ignore (Ifconv.run f);
+      let ls = Loopvec.run ~vl f in
+      stats.loops_vectorized <- ls.Loopvec.loops_vectorized;
+      Tm.incr ~by:ls.Loopvec.loops_vectorized "pass.loopvec.loops";
+      scalar_passes f stats;
+      stats)
 
 let sv ?(vl = 4) ?(versioning = false) ?(promotion = false) (f : Ir.func) :
     pass_stats =
-  let stats = new_pass_stats () in
-  scalar_passes f stats;
-  ignore (Ifconv.run f);
-  ignore (Unroll.run ~factor:vl f);
-  ignore (Constfold.run f);
-  let config =
-    if versioning then
-      {
-        Slp.default_config with
-        vl;
-        condopt =
-          { Fgv_versioning.Condopt.default_config with promotion };
-      }
-    else { Slp.static_config with vl }
-  in
-  let n, slp_stats = Slp.run ~config f in
-  stats.slp_vectors <- n;
-  stats.slp_plans <- slp_stats.Slp.plans_used;
-  (* hoist loop-invariant check code, then clean up the scalar remains *)
-  scalar_passes f stats;
-  stats
+  Tm.time (if versioning then "pipeline.sv_versioning" else "pipeline.sv")
+    (fun () ->
+      let stats = new_pass_stats () in
+      scalar_passes f stats;
+      ignore (Ifconv.run f);
+      ignore (Unroll.run ~factor:vl f);
+      ignore (Constfold.run f);
+      let config =
+        if versioning then
+          {
+            Slp.default_config with
+            vl;
+            condopt =
+              { Fgv_versioning.Condopt.default_config with promotion };
+          }
+        else { Slp.static_config with vl }
+      in
+      let n, slp_stats = Slp.run ~config f in
+      stats.slp_vectors <- n;
+      stats.slp_plans <- slp_stats.Slp.plans_used;
+      Tm.incr ~by:n "pass.slp.vectors";
+      Tm.incr ~by:slp_stats.Slp.plans_used "pass.slp.plans";
+      (* hoist loop-invariant check code, then clean up the scalar remains *)
+      scalar_passes f stats;
+      stats)
 
 let sv_versioning ?(vl = 4) ?(promotion = true) f =
   sv ~vl ~versioning:true ~promotion f
@@ -93,26 +112,38 @@ let sv_versioning ?(vl = 4) ?(promotion = true) f =
    LICM and GVN run again downstream (the paper reports how much *more*
    work they do after RLE). *)
 let rle_pipeline ?(versioning = true) (f : Ir.func) : pass_stats =
-  let stats = new_pass_stats () in
-  scalar_passes f stats;
-  (* reset: the paper's counters are about the passes running after RLE *)
-  let stats = new_pass_stats () in
-  let rs = Rle.run ~versioning f in
-  stats.rle_eliminated <- rs.Rle.loads_eliminated;
-  stats.rle_groups <- rs.Rle.groups_found;
-  ignore (Constfold.run f);
-  stats.licm_hoisted <- stats.licm_hoisted + Licm.run f;
-  stats.gvn_deleted <- stats.gvn_deleted + Gvn.run f;
-  cleanup f stats;
-  stats
+  Tm.time "pipeline.rle" (fun () ->
+      let stats = new_pass_stats () in
+      scalar_passes f stats;
+      (* reset: the paper's counters are about the passes running after RLE *)
+      let stats = new_pass_stats () in
+      let rs = Rle.run ~versioning f in
+      stats.rle_eliminated <- rs.Rle.loads_eliminated;
+      stats.rle_groups <- rs.Rle.groups_found;
+      Tm.incr ~by:rs.Rle.loads_eliminated "pass.rle.eliminated";
+      Tm.incr ~by:rs.Rle.groups_found "pass.rle.groups";
+      ignore (Constfold.run f);
+      let h = Licm.run f in
+      stats.licm_hoisted <- stats.licm_hoisted + h;
+      Tm.incr ~by:h "pass.licm.hoisted";
+      let g = Gvn.run f in
+      stats.gvn_deleted <- stats.gvn_deleted + g;
+      Tm.incr ~by:g "pass.gvn.deleted";
+      cleanup f stats;
+      stats)
 
 (* The baseline for Fig. 22: the same downstream passes, no RLE. *)
 let rle_baseline (f : Ir.func) : pass_stats =
-  let stats = new_pass_stats () in
-  scalar_passes f stats;
-  let stats = new_pass_stats () in
-  ignore (Constfold.run f);
-  stats.licm_hoisted <- stats.licm_hoisted + Licm.run f;
-  stats.gvn_deleted <- stats.gvn_deleted + Gvn.run f;
-  cleanup f stats;
-  stats
+  Tm.time "pipeline.rle_baseline" (fun () ->
+      let stats = new_pass_stats () in
+      scalar_passes f stats;
+      let stats = new_pass_stats () in
+      ignore (Constfold.run f);
+      let h = Licm.run f in
+      stats.licm_hoisted <- stats.licm_hoisted + h;
+      Tm.incr ~by:h "pass.licm.hoisted";
+      let g = Gvn.run f in
+      stats.gvn_deleted <- stats.gvn_deleted + g;
+      Tm.incr ~by:g "pass.gvn.deleted";
+      cleanup f stats;
+      stats)

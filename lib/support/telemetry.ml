@@ -1,0 +1,236 @@
+(* Process-wide telemetry registry.  See the interface for the contract;
+   the implementation notes here are about the few non-obvious choices:
+
+   - counters and timers live in separate hashtables keyed by their
+     fully qualified name, so [reset] is two [Hashtbl.reset]s;
+   - the scope stack is a plain mutable list of prefixes; qualification
+     happens at record time, so a counter bumped under two different
+     scopes is two distinct registry entries;
+   - the JSON emitter is hand-rolled (no dependency): the only subtle
+     parts are string escaping and float formatting, both below. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Assoc of (string * json) list
+
+(* ------------------------------------------------------------ emitter *)
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* JSON has no NaN/Infinity; also "%.17g" can print "1e+3" style
+   exponents, which are fine, but never a leading '.' or trailing '.'
+   without digits — normalize "1." to "1.0". *)
+let float_repr x =
+  if Float.is_nan x then "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.1f" x
+  else if x = Float.infinity then "1e999"
+  else if x = Float.neg_infinity then "-1e999"
+  else Printf.sprintf "%.17g" x
+
+let json_to_string ?(minify = false) (j : json) : string =
+  let buf = Buffer.create 256 in
+  let pad depth = if not minify then Buffer.add_string buf (String.make (2 * depth) ' ') in
+  let nl () = if not minify then Buffer.add_char buf '\n' in
+  let rec go depth j =
+    match j with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Float x -> Buffer.add_string buf (float_repr x)
+    | String s -> Buffer.add_string buf (escape_string s)
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+      Buffer.add_char buf '[';
+      nl ();
+      List.iteri
+        (fun k item ->
+          if k > 0 then begin Buffer.add_char buf ','; nl () end;
+          pad (depth + 1);
+          go (depth + 1) item)
+        items;
+      nl ();
+      pad depth;
+      Buffer.add_char buf ']'
+    | Assoc [] -> Buffer.add_string buf "{}"
+    | Assoc fields ->
+      Buffer.add_char buf '{';
+      nl ();
+      List.iteri
+        (fun k (key, v) ->
+          if k > 0 then begin Buffer.add_char buf ','; nl () end;
+          pad (depth + 1);
+          Buffer.add_string buf (escape_string key);
+          Buffer.add_string buf (if minify then ":" else ": ");
+          go (depth + 1) v)
+        fields;
+      nl ();
+      pad depth;
+      Buffer.add_char buf '}'
+  in
+  go 0 j;
+  Buffer.contents buf
+
+(* ----------------------------------------------------------- registry *)
+
+type timer = { mutable total : float; mutable count : int }
+
+let counter_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64
+let timer_tbl : (string, timer) Hashtbl.t = Hashtbl.create 16
+let scope_stack : string list ref = ref [] (* innermost first *)
+
+let qualify name =
+  match !scope_stack with
+  | [] -> name
+  | stack -> String.concat "." (List.rev stack) ^ "." ^ name
+
+let counter_ref qname =
+  match Hashtbl.find_opt counter_tbl qname with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace counter_tbl qname r;
+    r
+
+let incr ?(by = 1) name =
+  let r = counter_ref (qualify name) in
+  r := !r + by
+
+let set_max name v =
+  let r = counter_ref (qualify name) in
+  if v > !r then r := v
+
+let get name = match Hashtbl.find_opt counter_tbl name with Some r -> !r | None -> 0
+
+let counters () =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counter_tbl []
+  |> List.sort compare
+
+let timer_cell qname =
+  match Hashtbl.find_opt timer_tbl qname with
+  | Some t -> t
+  | None ->
+    let t = { total = 0.0; count = 0 } in
+    Hashtbl.replace timer_tbl qname t;
+    t
+
+let record_time qname dt =
+  let t = timer_cell qname in
+  t.total <- t.total +. dt;
+  t.count <- t.count + 1
+
+let time name f =
+  let qname = qualify name in
+  let start = Unix.gettimeofday () in
+  match f () with
+  | result ->
+    record_time qname (Unix.gettimeofday () -. start);
+    result
+  | exception e ->
+    record_time qname (Unix.gettimeofday () -. start);
+    raise e
+
+let timer_total name =
+  match Hashtbl.find_opt timer_tbl name with Some t -> t.total | None -> 0.0
+
+let timers () =
+  Hashtbl.fold (fun name t acc -> (name, t.total, t.count) :: acc) timer_tbl []
+  |> List.sort compare
+
+let with_scope name f =
+  (* time under the *enclosing* qualification, then push for the body *)
+  let qname = qualify name in
+  let start = Unix.gettimeofday () in
+  scope_stack := name :: !scope_stack;
+  let finish () =
+    (match !scope_stack with
+    | s :: rest when s == name -> scope_stack := rest
+    | _ -> () (* a reset inside the scope cleared the stack: fine *));
+    record_time qname (Unix.gettimeofday () -. start)
+  in
+  match f () with
+  | result ->
+    finish ();
+    result
+  | exception e ->
+    finish ();
+    raise e
+
+let reset () =
+  Hashtbl.reset counter_tbl;
+  Hashtbl.reset timer_tbl;
+  scope_stack := []
+
+let snapshot () : json =
+  Assoc
+    [
+      ("counters", Assoc (List.map (fun (n, v) -> (n, Int v)) (counters ())));
+      ( "timers",
+        Assoc
+          (List.map
+             (fun (n, total, count) ->
+               (n, Assoc [ ("total_s", Float total); ("count", Int count) ]))
+             (timers ())) );
+    ]
+
+let capture f =
+  let before = counters () in
+  let result = f () in
+  let after = counters () in
+  let old name =
+    match List.assoc_opt name before with Some v -> v | None -> 0
+  in
+  let delta =
+    List.filter_map
+      (fun (name, v) -> if v <> old name then Some (name, v - old name) else None)
+      after
+  in
+  (result, delta)
+
+let report () =
+  let buf = Buffer.create 256 in
+  let cs = counters () and ts = timers () in
+  if cs <> [] then begin
+    Buffer.add_string buf "counters:\n";
+    let width =
+      List.fold_left (fun w (n, _) -> max w (String.length n)) 0 cs
+    in
+    List.iter
+      (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "  %-*s %d\n" width n v))
+      cs
+  end;
+  if ts <> [] then begin
+    Buffer.add_string buf "timers:\n";
+    let width =
+      List.fold_left (fun w (n, _, _) -> max w (String.length n)) 0 ts
+    in
+    List.iter
+      (fun (n, total, count) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %-*s %10.3f ms  (%d calls)\n" width n
+             (total *. 1000.0) count))
+      ts
+  end;
+  if cs = [] && ts = [] then Buffer.add_string buf "(no telemetry recorded)\n";
+  Buffer.contents buf

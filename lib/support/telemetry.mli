@@ -1,0 +1,80 @@
+(** Framework telemetry: named counters, wall-clock timers, and
+    per-phase scopes, with a hand-rolled JSON emitter.
+
+    The registry is a process-wide singleton: passes and the versioning
+    framework bump counters unconditionally (increments are a hashtable
+    update, cheap next to any analysis they instrument), and entry points
+    decide whether to report.  Sessions that need isolated numbers (the
+    benchmark harness, golden tests) call {!reset} between runs, or use
+    {!capture} to measure the counter delta of one thunk. *)
+
+(** Minimal JSON document tree, sufficient for the telemetry reports and
+    the benchmark output. *)
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Assoc of (string * json) list
+
+val json_to_string : ?minify:bool -> json -> string
+(** Serialize with proper string escaping.  [minify:false] (default)
+    pretty-prints with two-space indentation; floats are emitted in a
+    form every JSON parser accepts (no [nan]/[inf], no bare [.5]). *)
+
+(** {1 Counters} *)
+
+val incr : ?by:int -> string -> unit
+(** Add [by] (default 1) to the named counter, creating it at zero.  The
+    name is qualified by the current {!with_scope} stack. *)
+
+val set_max : string -> int -> unit
+(** Raise the named counter to [v] if it is currently lower (running
+    maxima, e.g. recursion depths). *)
+
+val get : string -> int
+(** Current value (0 if never bumped).  The name is taken as already
+    fully qualified; scopes do not apply. *)
+
+val counters : unit -> (string * int) list
+(** All counters with their fully qualified names, sorted by name. *)
+
+(** {1 Timers} *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** Run the thunk, accumulating its wall-clock duration (and an
+    invocation count) into the named timer.  Re-raises exceptions but
+    still records the elapsed time.  Scope-qualified like {!incr}. *)
+
+val timer_total : string -> float
+(** Accumulated seconds (0. if never run); fully qualified name. *)
+
+val timers : unit -> (string * float * int) list
+(** All timers as (name, total seconds, invocations), sorted by name. *)
+
+(** {1 Scopes} *)
+
+val with_scope : string -> (unit -> 'a) -> 'a
+(** Qualify every counter and timer recorded inside the thunk with
+    ["scope."]; scopes nest ("a.b.counter").  The scope's own wall-clock
+    time accumulates into a timer named after the scope. *)
+
+(** {1 Snapshots} *)
+
+val reset : unit -> unit
+(** Drop every counter, timer, and open-scope qualifier: the next
+    session starts from an empty registry. *)
+
+val snapshot : unit -> json
+(** The whole registry as [{"counters": {...}, "timers": {...}}], keys
+    sorted; timers as [{"total_s": float, "count": int}]. *)
+
+val capture : (unit -> 'a) -> 'a * (string * int) list
+(** Run the thunk and return the counter *delta* it caused (counters
+    whose value changed, sorted by name).  Does not reset the registry;
+    nesting captures is fine. *)
+
+val report : unit -> string
+(** Human-readable table of counters and timers (for [--stats]). *)

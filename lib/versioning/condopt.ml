@@ -4,6 +4,7 @@
 
 open Fgv_pssa
 open Fgv_analysis
+module Tm = Fgv_support.Telemetry
 
 (* Constant offset between two ranges, defined only when the lower and
    upper bounds shift by the same amount. *)
@@ -144,11 +145,20 @@ let promote_best_effort scev ~(enclosing : Ir.loop_id list) atoms =
           | _ -> None
         in
         let rec first = function
-          | [] -> atom
+          | [] -> None
           | loops :: rest -> (
-            match try_with loops with Some a -> a | None -> first rest)
+            match try_with loops with Some a -> Some a | None -> first rest)
         in
-        first candidates)
+        (match first candidates with
+        | None ->
+          Tm.incr "condopt.promote_failed";
+          atom
+        | Some promoted ->
+          (* unchanged ranges mean the check was already invariant in
+             every promoted loop: precise promotion (no widening) *)
+          if promoted = atom then Tm.incr "condopt.promoted_precise"
+          else Tm.incr "condopt.promoted_imprecise";
+          promoted))
     atoms
 
 type config = {
@@ -165,8 +175,22 @@ let none_config = { redundant_elim = false; coalescing = false; promotion = fals
 let rec optimize_plan ?(config = default_config) scev ~enclosing (p : Plan.t) :
     Plan.t =
   let atoms = p.Plan.p_conds in
-  let atoms = if config.redundant_elim then eliminate_redundant atoms else atoms in
-  let atoms = if config.coalescing then coalesce atoms else atoms in
+  let atoms =
+    if config.redundant_elim then begin
+      let kept = eliminate_redundant atoms in
+      Tm.incr ~by:(List.length atoms - List.length kept) "condopt.eliminated";
+      kept
+    end
+    else atoms
+  in
+  let atoms =
+    if config.coalescing then begin
+      let merged = coalesce atoms in
+      Tm.incr ~by:(List.length atoms - List.length merged) "condopt.coalesced";
+      merged
+    end
+    else atoms
+  in
   let atoms =
     if config.promotion then promote_best_effort scev ~enclosing atoms
     else atoms

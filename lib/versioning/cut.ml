@@ -16,6 +16,7 @@
    an unconditional dependence: versioning is infeasible. *)
 
 open Fgv_analysis
+module Tm = Fgv_support.Telemetry
 
 type result = {
   cut_edges : Depgraph.edge list; (* conditional edges to sever *)
@@ -43,7 +44,13 @@ let find ?(weight = fun (_ : Depgraph.edge) -> 1) (g : Depgraph.t)
     end
   in
   List.iter dfs s;
-  if not (Depgraph.depends_on g ~excluded s t) then Some already_independent
+  Tm.incr "cut.queries";
+  Tm.incr ~by:(Array.fold_left (fun a d -> if d then a + 1 else a) 0 discovered)
+    "cut.graph_nodes";
+  if not (Depgraph.depends_on g ~excluded s t) then begin
+    Tm.incr "cut.already_independent";
+    Some already_independent
+  end
   else begin
     (* 2. build the flow network over discovered nodes *)
     let edges_in_scope =
@@ -92,10 +99,14 @@ let find ?(weight = fun (_ : Depgraph.edge) -> 1) (g : Depgraph.t)
           Fgv_graph.Maxflow.add_edge net ~src:(in_node k) ~dst:sink ~cap:big)
       (List.sort_uniq compare t);
     let flow = Fgv_graph.Maxflow.solve net ~source ~sink in
+    Tm.incr ~by:(Fgv_graph.Maxflow.augmenting_paths net) "cut.maxflow_augmenting";
     (* a cut consisting solely of conditional edges costs at most
        [total_weight]; more flow means an unconditional dependence must
        be severed, so versioning is infeasible *)
-    if flow > total_weight then None
+    if flow > total_weight then begin
+      Tm.incr "cut.infeasible";
+      None
+    end
     else begin
       (* 3. recover the cut *)
       let cut_ids = Fgv_graph.Maxflow.cut_edge_tags net ~source in
@@ -132,6 +143,7 @@ let find ?(weight = fun (_ : Depgraph.edge) -> 1) (g : Depgraph.t)
           (fun k -> discovered.(k) && side.(out_node k) && reaches_t k)
           (List.init n_nodes (fun k -> k))
       in
+      Tm.incr ~by:(List.length cut_edges) "cut.edges";
       Some { cut_edges; source_nodes }
     end
   end

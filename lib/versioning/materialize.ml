@@ -33,6 +33,7 @@
 
 open Fgv_pssa
 open Fgv_analysis
+module Tm = Fgv_support.Telemetry
 
 exception Error of string
 
@@ -339,6 +340,9 @@ let rec materialize_level (f : Ir.func) (region : Ir.region)
           |> List.map (subst_atom subst)
         in
         let chk = materialize_check em checked_atoms in
+        Tm.incr "materialize.checks_emitted";
+        Tm.incr ~by:(List.length checked_atoms) "materialize.checked_atoms";
+        Tm.incr ~by:(Hashtbl.length remap) "materialize.check_chain_cloned";
         Hashtbl.replace chk_of_group conds chk;
         let items' = insert_before_index items insert_pos (emitted em) in
         Ir.set_region_items f region items')
@@ -363,6 +367,8 @@ let rec materialize_level (f : Ir.func) (region : Ir.region)
                 match node with Ir.NI v -> Ir.I v | Ir.NL l -> Ir.L l
               in
               let clone = Ir.clone_item f remap orig_item in
+              Tm.incr "materialize.nodes_versioned";
+              Tm.incr ~by:(Hashtbl.length remap) "materialize.cloned_insts";
               let ok = Pred.lit chk and notok = Pred.lit ~positive:false chk in
               let v =
                 {
@@ -390,6 +396,7 @@ let rec materialize_level (f : Ir.func) (region : Ir.region)
                         ~kind:(Ir.Phi [ (oi.ipred, ov); (ci.ipred, cv) ])
                         ~ty:oi.ty ~pred:base_pred
                     in
+                    Tm.incr "materialize.versioning_phis";
                     Some p.id
                   end
                 in
@@ -441,6 +448,7 @@ let rec materialize_level (f : Ir.func) (region : Ir.region)
                              ])
                         ~ty:ei.ty ~pred:ei.ipred
                     in
+                    Tm.incr "materialize.versioning_phis";
                     let items = Ir.region_items f region in
                     let items =
                       insert_after_node items (Ir.NI eta_id)
@@ -661,6 +669,7 @@ let run (f : Ir.func) (region : Ir.region) (plans : Plan.t list) :
          and give up on the transformation that wanted it. *)
       match materialize_level f region ~outer:!total [ plan ] with
       | local ->
+        Tm.incr "materialize.plans";
         let prev = !total in
         (* the OUTERMOST (earliest) versioning phi is the total merge:
            later trees rewire its arms when they version the value
@@ -669,6 +678,8 @@ let run (f : Ir.func) (region : Ir.region) (plans : Plan.t list) :
           fun v ->
             let p = prev v in
             if p <> v then p else local v
-      | exception Error _ -> all_ok := false)
+      | exception Error _ ->
+        Tm.incr "materialize.aborted";
+        all_ok := false)
     plans;
   (!all_ok, !total)

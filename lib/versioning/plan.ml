@@ -11,6 +11,7 @@
 
 open Fgv_pssa
 open Fgv_analysis
+module Tm = Fgv_support.Telemetry
 
 type t = {
   p_nodes : Ir.node list; (* versioned: source side + input nodes *)
@@ -34,6 +35,13 @@ let rec all_cut_edge_ids p =
 let rec conds_count p =
   List.length p.p_conds
   + List.fold_left (fun a s -> a + conds_count s) 0 p.p_secondaries
+
+(* Nesting depth of the secondary-plan tree (0 = no secondaries). *)
+let rec secondary_depth p =
+  List.fold_left (fun a s -> max a (1 + secondary_depth s)) 0 p.p_secondaries
+
+let rec count_plans p =
+  1 + List.fold_left (fun a s -> a + count_plans s) 0 p.p_secondaries
 
 (* Canonical, de-duplicated atom list. *)
 let dedup_atoms atoms = List.sort_uniq compare atoms
@@ -143,7 +151,16 @@ let rec infer_rec (g : Depgraph.t) ~(excluded : int list) ~(nodes : Ir.node list
 (* Public entry points *)
 
 let infer g ~nodes ~input_nodes =
-  infer_rec g ~excluded:[] ~nodes ~input_nodes ~depth:0
+  Tm.incr "plan.requests";
+  match infer_rec g ~excluded:[] ~nodes ~input_nodes ~depth:0 with
+  | None ->
+    Tm.incr "plan.infeasible";
+    None
+  | Some plan ->
+    Tm.incr ~by:(count_plans plan) "plan.inferred";
+    Tm.incr ~by:(conds_count plan) "plan.conds";
+    Tm.set_max "plan.max_secondary_depth" (secondary_depth plan);
+    Some plan
 
 (* Fig. 13 [infer_version_plans_for_insts]: make a set of nodes pairwise
    independent. *)

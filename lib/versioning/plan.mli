@@ -38,6 +38,12 @@ val all_cut_edge_ids : t -> int list
 val conds_count : t -> int
 (** Total number of run-time conditions in the tree (ablation metric). *)
 
+val secondary_depth : t -> int
+(** Nesting depth of the secondary-plan tree (0 = no secondaries). *)
+
+val count_plans : t -> int
+(** Number of plans in the tree, the root included. *)
+
 val dedup_atoms : Depcond.atom list -> Depcond.atom list
 (** Canonical sorted, de-duplicated atom list. *)
 

@@ -221,6 +221,53 @@ let test_profile_weighted_cut () =
        edges would allow *)
     Alcotest.(check bool) "weighted cut avoids expensive edges" true (cost <= 11)
 
+(* ----------------------------------------------------- golden statistics *)
+
+(* Lock the condition-optimization work counters (§VI: eliminated,
+   coalesced, promoted) on two representative kernels.  Drift here means
+   SIV-A behaviour changed — re-record deliberately, never ignore. *)
+
+module Tm = Fgv_support.Telemetry
+module W = Fgv_bench.Workload
+
+let condopt_golden ~config ~apply name kernels expected =
+  let k = List.find (fun k -> k.W.k_name = name) kernels in
+  Tm.reset ();
+  let f = W.compile_for config k in
+  ignore (apply f);
+  let actual = Tm.counters () in
+  List.iter
+    (fun (name, want) ->
+      Alcotest.(check int) name want
+        (try List.assoc name actual with Not_found -> 0))
+    expected
+
+let test_golden_condopt_s131 () =
+  condopt_golden
+    ~config:(W.sv_versioning ())
+    ~apply:Fgv_passes.Pipelines.sv_versioning "s131" Fgv_bench.Tsvc.kernels
+    [
+      ("condopt.eliminated", 12);
+      ("condopt.coalesced", 8);
+      ("condopt.promoted_precise", 0);
+      ("condopt.promoted_imprecise", 0);
+      ("condopt.promote_failed", 4);
+    ]
+
+let test_golden_condopt_lbm_rle () =
+  condopt_golden
+    ~config:(W.cfg "rle" (fun f -> Fgv_passes.Pipelines.rle_pipeline f))
+    ~apply:Fgv_passes.Pipelines.rle_pipeline "lbm_r" Fgv_bench.Specfp.kernels
+    [
+      ("condopt.eliminated", 0);
+      ("condopt.coalesced", 0);
+      ("condopt.promoted_imprecise", 1);
+      ("pass.rle.eliminated", 5);
+      ("pass.rle.groups", 2);
+      ("cut.infeasible", 1);
+      ("plan.infeasible", 1);
+    ]
+
 let suite =
   [
     Alcotest.test_case "range offsets" `Quick test_range_offset;
@@ -232,4 +279,7 @@ let suite =
     Alcotest.test_case "cut infeasible across SSA dependence" `Quick
       test_cut_infeasible_on_ssa_dep;
     Alcotest.test_case "profile-weighted cut" `Quick test_profile_weighted_cut;
+    Alcotest.test_case "golden condopt stats: s131" `Quick test_golden_condopt_s131;
+    Alcotest.test_case "golden condopt stats: lbm_r RLE" `Quick
+      test_golden_condopt_lbm_rle;
   ]

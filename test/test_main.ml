@@ -2,6 +2,8 @@ let () =
   Alcotest.run "fgv"
     [
       ("support", Test_support.suite);
+      ("telemetry", Test_telemetry.suite);
+      ("verifier", Test_verifier.suite);
       ("pred", Test_pred.suite);
       ("maxflow", Test_maxflow.suite);
       ("frontend", Test_frontend.suite);

@@ -272,6 +272,69 @@ let prop_rle =
   pipeline_prop "rle pipeline on random programs" (fun f ->
       ignore (P.Pipelines.rle_pipeline f))
 
+(* Property 2b: behaviour preservation must hold regardless of the
+   condition-promotion setting — promotion only widens checks (more
+   fallback executions), never changes what either version computes. *)
+let prop_promotion_on =
+  pipeline_prop "sv+versioning with promotion on" (fun f ->
+      ignore (P.Pipelines.sv ~versioning:true ~promotion:true f))
+
+let prop_promotion_off =
+  pipeline_prop "sv+versioning with promotion off" (fun f ->
+      ignore (P.Pipelines.sv ~versioning:true ~promotion:false f))
+
+(* ------------------------------------------------- restrict variants *)
+
+(* The same random programs with [restrict]-qualified pointers.  Binding
+   restrict pointers to overlapping regions is undefined behaviour, so
+   these properties evaluate ONLY disjoint bindings — the generator's
+   accesses stay within [base, base+16). *)
+
+let gen_program_restrict : Ast.fdecl QCheck2.Gen.t =
+  QCheck2.Gen.map
+    (fun fd ->
+      {
+        fd with
+        Ast.fdparams =
+          List.map
+            (fun p ->
+              if p.Ast.pty = Ast.Tptr Ast.Tfloat then
+                { p with Ast.prestrict = true }
+              else p)
+            fd.Ast.fdparams;
+      })
+    gen_program
+
+let disjoint_bindings = [ (0, 16); (16, 0) ]
+
+let behaves_identically_disjoint f g =
+  List.for_all
+    (fun (p, q) ->
+      let args = [ Value.VInt p; Value.VInt q; Value.VInt 8 ] in
+      let a = Interp.run f ~args ~mem:(mem ()) in
+      let b = Interp.run g ~args ~mem:(mem ()) in
+      Interp.equivalent a b)
+    disjoint_bindings
+
+let restrict_pipeline_prop name pipeline =
+  QCheck2.Test.make ~name ~print:render_fdecl ~count:400 gen_program_restrict
+    (fun fd ->
+      match lower_pair fd with
+      | None -> true
+      | Some (reference, f) -> (
+        pipeline f;
+        match Verifier.verify_or_message f with
+        | Some msg -> QCheck2.Test.fail_reportf "ill-formed: %s" msg
+        | None -> behaves_identically_disjoint reference f))
+
+let prop_restrict_svv =
+  restrict_pipeline_prop "sv+versioning on restrict-qualified programs"
+    (fun f -> ignore (P.Pipelines.sv_versioning f))
+
+let prop_restrict_rle =
+  restrict_pipeline_prop "rle pipeline on restrict-qualified programs"
+    (fun f -> ignore (P.Pipelines.rle_pipeline f))
+
 (* Property 3: CFG lowering of the optimized program still agrees. *)
 let prop_cfg =
   QCheck2.Test.make ~name:"CFG lowering of versioned random programs"
@@ -295,5 +358,9 @@ let suite =
     QCheck_alcotest.to_alcotest prop_o3;
     QCheck_alcotest.to_alcotest prop_svv;
     QCheck_alcotest.to_alcotest prop_rle;
+    QCheck_alcotest.to_alcotest prop_promotion_on;
+    QCheck_alcotest.to_alcotest prop_promotion_off;
+    QCheck_alcotest.to_alcotest prop_restrict_svv;
+    QCheck_alcotest.to_alcotest prop_restrict_rle;
     QCheck_alcotest.to_alcotest prop_cfg;
   ]

@@ -1,0 +1,294 @@
+(* Tests for the telemetry registry: counter/timer/scope semantics, JSON
+   output well-formedness (checked with a small independent JSON parser,
+   so emitter bugs cannot hide behind a lenient consumer), and
+   reset-between-sessions behaviour. *)
+
+module Tm = Fgv_support.Telemetry
+
+(* ------------------------------ a tiny independent JSON parser -------- *)
+
+(* Parses the full JSON grammar the emitter can produce (objects, arrays,
+   strings with escapes, numbers, booleans, null); raises [Failure] on
+   anything malformed.  Deliberately not the emitter run backwards. *)
+let parse_json (s : string) : Tm.json =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = failwith (Printf.sprintf "JSON parse error at %d: %s" !pos msg) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= len
+       && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some '"' -> Buffer.add_char buf '"'; advance ()
+        | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+        | Some '/' -> Buffer.add_char buf '/'; advance ()
+        | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+        | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance ()
+        | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+        | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > len then fail "bad \\u escape";
+          let hex = String.sub s !pos 4 in
+          let code =
+            try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+          in
+          (* the emitter only escapes control characters; no surrogates *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else Buffer.add_string buf (Printf.sprintf "\\u%s" hex);
+          pos := !pos + 4
+        | _ -> fail "bad escape");
+        go ()
+      | Some c when Char.code c < 0x20 -> fail "raw control character in string"
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match int_of_string_opt text with
+    | Some n -> Tm.Int n
+    | None -> (
+      match float_of_string_opt text with
+      | Some x -> Tm.Float x
+      | None -> fail ("bad number " ^ text))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin advance (); Tm.Assoc [] end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((key, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Tm.Assoc (fields [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin advance (); Tm.List [] end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        Tm.List (items [])
+      end
+    | Some '"' -> Tm.String (parse_string ())
+    | Some 't' -> literal "true" (Tm.Bool true)
+    | Some 'f' -> literal "false" (Tm.Bool false)
+    | Some 'n' -> literal "null" Tm.Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | _ -> fail "expected a value"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+(* ------------------------------------------------------------ counters *)
+
+let test_counters () =
+  Tm.reset ();
+  Alcotest.(check int) "unbumped counter is 0" 0 (Tm.get "nope");
+  Tm.incr "a";
+  Tm.incr "a";
+  Tm.incr ~by:5 "b";
+  Alcotest.(check int) "incr twice" 2 (Tm.get "a");
+  Alcotest.(check int) "incr by 5" 5 (Tm.get "b");
+  Tm.set_max "depth" 3;
+  Tm.set_max "depth" 1;
+  Tm.set_max "depth" 7;
+  Alcotest.(check int) "set_max keeps the maximum" 7 (Tm.get "depth");
+  Alcotest.(check (list (pair string int)))
+    "counters are sorted"
+    [ ("a", 2); ("b", 5); ("depth", 7) ]
+    (Tm.counters ())
+
+let test_timers () =
+  Tm.reset ();
+  let r = Tm.time "t" (fun () -> 41 + 1) in
+  Alcotest.(check int) "time returns the thunk's value" 42 r;
+  (try Tm.time "t" (fun () -> failwith "boom") with Failure _ -> ());
+  (match Tm.timers () with
+  | [ ("t", total, count) ] ->
+    Alcotest.(check int) "both invocations counted" 2 count;
+    Alcotest.(check bool) "nonnegative total" true (total >= 0.0)
+  | l -> Alcotest.failf "expected one timer, got %d" (List.length l));
+  Alcotest.(check bool) "timer_total of unknown is 0" true
+    (Tm.timer_total "unknown" = 0.0)
+
+let test_scopes () =
+  Tm.reset ();
+  Tm.incr "plain";
+  Tm.with_scope "outer" (fun () ->
+      Tm.incr "c";
+      Tm.with_scope "inner" (fun () -> Tm.incr "c"));
+  Alcotest.(check int) "unscoped name" 1 (Tm.get "plain");
+  Alcotest.(check int) "scoped name" 1 (Tm.get "outer.c");
+  Alcotest.(check int) "nested scope name" 1 (Tm.get "outer.inner.c");
+  (* the scope's own duration lands in a timer named after it *)
+  let names = List.map (fun (n, _, _) -> n) (Tm.timers ()) in
+  Alcotest.(check (list string)) "scope timers" [ "outer"; "outer.inner" ] names;
+  (* scope unwinds on exceptions *)
+  (try Tm.with_scope "ex" (fun () -> failwith "boom") with Failure _ -> ());
+  Tm.incr "after";
+  Alcotest.(check int) "scope popped after exception" 1 (Tm.get "after")
+
+let test_reset_between_sessions () =
+  Tm.reset ();
+  Tm.incr "x";
+  ignore (Tm.time "t" (fun () -> ()));
+  Alcotest.(check bool) "session recorded something" true (Tm.counters () <> []);
+  Tm.reset ();
+  Alcotest.(check (list (pair string int))) "counters empty after reset" []
+    (Tm.counters ());
+  Alcotest.(check int) "timers empty after reset" 0 (List.length (Tm.timers ()));
+  (* a fresh session starts from zero, not from stale values *)
+  Tm.incr "x";
+  Alcotest.(check int) "fresh session from zero" 1 (Tm.get "x")
+
+let test_capture () =
+  Tm.reset ();
+  Tm.incr ~by:10 "base";
+  let r, delta =
+    Tm.capture (fun () ->
+        Tm.incr ~by:3 "base";
+        Tm.incr "fresh";
+        "done")
+  in
+  Alcotest.(check string) "capture returns the value" "done" r;
+  Alcotest.(check (list (pair string int)))
+    "delta has only changed counters"
+    [ ("base", 3); ("fresh", 1) ]
+    delta;
+  Alcotest.(check int) "registry keeps accumulating" 13 (Tm.get "base")
+
+(* ---------------------------------------------------------------- JSON *)
+
+let test_json_escaping_roundtrip () =
+  let doc =
+    Tm.Assoc
+      [
+        ("quote\"back\\slash", Tm.String "tab\tnewline\nctrl\001");
+        ("empty", Tm.Assoc []);
+        ("list", Tm.List [ Tm.Int 1; Tm.Bool false; Tm.Null ]);
+        ("neg", Tm.Int (-42));
+        ("float", Tm.Float 2.5);
+        ("whole_float", Tm.Float 3.0);
+      ]
+  in
+  List.iter
+    (fun minify ->
+      let text = Tm.json_to_string ~minify doc in
+      match parse_json text with
+      | Tm.Assoc fields ->
+        Alcotest.(check int) "all fields survive" 6 (List.length fields);
+        (match List.assoc "quote\"back\\slash" fields with
+        | Tm.String s ->
+          Alcotest.(check string) "escapes round-trip" "tab\tnewline\nctrl\001" s
+        | _ -> Alcotest.fail "expected string field");
+        (match List.assoc "whole_float" fields with
+        | Tm.Float x -> Alcotest.(check (float 0.0)) "3.0 stays float" 3.0 x
+        | _ -> Alcotest.fail "whole float must not parse as int")
+      | _ -> Alcotest.fail "expected an object")
+    [ true; false ]
+
+let test_snapshot_well_formed () =
+  Tm.reset ();
+  Tm.incr ~by:2 "cut.edges";
+  Tm.incr "plan.inferred";
+  ignore (Tm.time "pipeline.sv" (fun () -> ()));
+  let text = Tm.json_to_string (Tm.snapshot ()) in
+  match parse_json text with
+  | Tm.Assoc [ ("counters", Tm.Assoc cs); ("timers", Tm.Assoc ts) ] ->
+    Alcotest.(check (list string))
+      "counter keys sorted" [ "cut.edges"; "plan.inferred" ] (List.map fst cs);
+    Alcotest.(check bool) "counter value" true
+      (List.assoc "cut.edges" cs = Tm.Int 2);
+    (match ts with
+    | [ ("pipeline.sv", Tm.Assoc fields) ] ->
+      Alcotest.(check bool) "timer has count" true
+        (List.assoc "count" fields = Tm.Int 1);
+      (match List.assoc "total_s" fields with
+      | Tm.Float _ | Tm.Int _ -> ()
+      | _ -> Alcotest.fail "total_s must be numeric")
+    | _ -> Alcotest.fail "expected one timer entry")
+  | _ -> Alcotest.fail "snapshot must be {counters, timers}"
+
+let suite =
+  [
+    Alcotest.test_case "counter semantics" `Quick test_counters;
+    Alcotest.test_case "timer semantics" `Quick test_timers;
+    Alcotest.test_case "scope qualification" `Quick test_scopes;
+    Alcotest.test_case "reset between sessions" `Quick test_reset_between_sessions;
+    Alcotest.test_case "capture deltas" `Quick test_capture;
+    Alcotest.test_case "JSON escaping round-trip" `Quick test_json_escaping_roundtrip;
+    Alcotest.test_case "snapshot well-formed" `Quick test_snapshot_well_formed;
+  ]

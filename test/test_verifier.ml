@@ -1,0 +1,148 @@
+(* Negative tests for the PSSA verifier: hand-built ill-formed functions
+   must be *rejected*, with the message naming the broken invariant.  The
+   positive direction is covered everywhere else (every pass test
+   re-verifies); without these, a verifier that silently accepts garbage
+   would still be green. *)
+
+open Fgv_pssa
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let expect_invalid ~msg_part (f : Ir.func) =
+  match Verifier.verify_or_message f with
+  | None -> Alcotest.failf "verifier accepted an ill-formed function (%s)" msg_part
+  | Some msg ->
+    if not (contains msg msg_part) then
+      Alcotest.failf "expected message containing %S, got %S" msg_part msg
+
+let mk_inst f kind ty pred = (Ir.new_inst f ~kind ~ty ~pred).Ir.id
+
+let test_use_before_def () =
+  let f = Ir.create_func ~name:"bad" ~params:[] in
+  let c = mk_inst f (Ir.Const (Ir.Cint 1)) Ir.Tint Pred.tru in
+  let a = mk_inst f (Ir.Binop (Ir.Add, c, c)) Ir.Tint Pred.tru in
+  (* the add is placed before the constant it reads *)
+  f.Ir.fbody <- [ Ir.I a; Ir.I c ];
+  expect_invalid ~msg_part:"does not precede" f
+
+let test_predicate_not_dominating () =
+  let f = Ir.create_func ~name:"bad" ~params:[] in
+  let flag = mk_inst f (Ir.Const (Ir.Cbool true)) Ir.Tbool Pred.tru in
+  let guarded = mk_inst f (Ir.Const (Ir.Cfloat 1.0)) Ir.Tfloat (Pred.lit flag) in
+  (* the guarded instruction executes before its predicate is computed *)
+  f.Ir.fbody <- [ Ir.I guarded; Ir.I flag ];
+  expect_invalid ~msg_part:"does not precede" f
+
+let test_non_boolean_predicate () =
+  let f = Ir.create_func ~name:"bad" ~params:[] in
+  let n = mk_inst f (Ir.Const (Ir.Cint 3)) Ir.Tint Pred.tru in
+  let guarded = mk_inst f (Ir.Const (Ir.Cfloat 1.0)) Ir.Tfloat (Pred.lit n) in
+  f.Ir.fbody <- [ Ir.I n; Ir.I guarded ];
+  expect_invalid ~msg_part:"non-boolean" f
+
+let test_dangling_phi_unplaced_arm () =
+  (* the shape a buggy materialization would leave behind: a versioning
+     phi whose clone-side arm was dropped from the region but not from
+     the phi *)
+  let f = Ir.create_func ~name:"bad" ~params:[] in
+  let orig = mk_inst f (Ir.Const (Ir.Cfloat 1.0)) Ir.Tfloat Pred.tru in
+  let clone = mk_inst f (Ir.Const (Ir.Cfloat 2.0)) Ir.Tfloat Pred.tru in
+  let phi =
+    mk_inst f (Ir.Phi [ (Pred.tru, orig); (Pred.tru, clone) ]) Ir.Tfloat Pred.tru
+  in
+  (* clone exists in the arena but is not placed in the body *)
+  f.Ir.fbody <- [ Ir.I orig; Ir.I phi ];
+  expect_invalid ~msg_part:"not placed in the body" f
+
+let test_dangling_phi_undefined_arm () =
+  let f = Ir.create_func ~name:"bad" ~params:[] in
+  let orig = mk_inst f (Ir.Const (Ir.Cfloat 1.0)) Ir.Tfloat Pred.tru in
+  let phi = mk_inst f (Ir.Phi [ (Pred.tru, orig); (Pred.tru, 9999) ]) Ir.Tfloat Pred.tru in
+  f.Ir.fbody <- [ Ir.I orig; Ir.I phi ];
+  expect_invalid ~msg_part:"undefined value" f
+
+let test_duplicate_definition () =
+  let f = Ir.create_func ~name:"bad" ~params:[] in
+  let c = mk_inst f (Ir.Const (Ir.Cint 1)) Ir.Tint Pred.tru in
+  f.Ir.fbody <- [ Ir.I c; Ir.I c ];
+  expect_invalid ~msg_part:"defined twice" f
+
+(* A well-formed single-loop function to corrupt: for (i = 0; i < n; i++) *)
+let loop_func () =
+  let b = Builder.create ~name:"loopy" ~params:[ ("n", Ir.Tint) ] in
+  let n = Builder.arg b 0 ~ty:Ir.Tint in
+  let zero = Builder.const_int b 0 in
+  let one = Builder.const_int b 1 in
+  let lp = Builder.begin_loop b in
+  let m = Builder.mu b lp ~init:zero ~ty:Ir.Tint in
+  let next = Builder.add b m one in
+  Builder.set_mu_recur b m next;
+  let c = Builder.cmp b Ir.Lt next n in
+  Builder.finish_loop b lp ~cont:(Pred.lit c);
+  let f = Builder.finish b in
+  (f, lp, m)
+
+let test_loop_func_is_well_formed () =
+  let f, _, _ = loop_func () in
+  match Verifier.verify_or_message f with
+  | None -> ()
+  | Some msg -> Alcotest.failf "fixture must verify, got %S" msg
+
+let test_eta_before_loop () =
+  let f, lp, _ = loop_func () in
+  (* an eta over a value defined before the loop, placed before the loop:
+     operands precede it, but the loop it reads does not *)
+  let n =
+    match f.Ir.fbody with
+    | Ir.I n :: _ -> n
+    | _ -> Alcotest.fail "unexpected fixture shape"
+  in
+  let eta =
+    mk_inst f (Ir.Eta { loop = lp.Ir.lid; value = n }) Ir.Tint Pred.tru
+  in
+  let rec place = function
+    | Ir.L lid :: rest when lid = lp.Ir.lid -> Ir.I eta :: Ir.L lid :: rest
+    | item :: rest -> item :: place rest
+    | [] -> Alcotest.fail "loop not found in fixture body"
+  in
+  f.Ir.fbody <- place f.Ir.fbody;
+  expect_invalid ~msg_part:"does not follow its loop" f
+
+let test_eta_unplaced_loop () =
+  let f, _, _ = loop_func () in
+  let ghost = Ir.new_loop f ~pred:Pred.tru in
+  let zero =
+    match f.Ir.fbody with
+    | _ :: Ir.I z :: _ -> z
+    | _ -> Alcotest.fail "unexpected fixture shape"
+  in
+  let eta = mk_inst f (Ir.Eta { loop = ghost.Ir.lid; value = zero }) Ir.Tint Pred.tru in
+  f.Ir.fbody <- f.Ir.fbody @ [ Ir.I eta ];
+  expect_invalid ~msg_part:"unplaced loop" f
+
+let test_mu_wrong_loop () =
+  let f, lp, m = loop_func () in
+  (* repoint the mu at a different loop id than the one listing it *)
+  let ghost = Ir.new_loop f ~pred:Pred.tru in
+  (match (Ir.inst f m).Ir.kind with
+  | Ir.Mu mu -> (Ir.inst f m).Ir.kind <- Ir.Mu { mu with loop = ghost.Ir.lid }
+  | _ -> Alcotest.fail "fixture mu missing");
+  ignore lp;
+  expect_invalid ~msg_part:"references loop" f
+
+let suite =
+  [
+    Alcotest.test_case "fixture verifies" `Quick test_loop_func_is_well_formed;
+    Alcotest.test_case "use before def" `Quick test_use_before_def;
+    Alcotest.test_case "predicate not dominating" `Quick test_predicate_not_dominating;
+    Alcotest.test_case "non-boolean predicate" `Quick test_non_boolean_predicate;
+    Alcotest.test_case "dangling phi: unplaced arm" `Quick test_dangling_phi_unplaced_arm;
+    Alcotest.test_case "dangling phi: undefined arm" `Quick test_dangling_phi_undefined_arm;
+    Alcotest.test_case "duplicate definition" `Quick test_duplicate_definition;
+    Alcotest.test_case "eta before its loop" `Quick test_eta_before_loop;
+    Alcotest.test_case "eta over unplaced loop" `Quick test_eta_unplaced_loop;
+    Alcotest.test_case "mu pointing at the wrong loop" `Quick test_mu_wrong_loop;
+  ]

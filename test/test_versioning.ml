@@ -241,6 +241,77 @@ let test_infeasible () =
     if not (V.Plan.is_trivial plan) then
       Alcotest.fail "expected infeasibility or triviality"
 
+(* ----------------------------------------------------- golden statistics *)
+
+(* Lock the framework's §VI work counters on two representative kernels.
+   The pipelines are deterministic, so any drift in these numbers means a
+   behavioural change in plan inference, the cut finder, or
+   materialization — which must be deliberate and re-recorded here. *)
+
+module Tm = Fgv_support.Telemetry
+module W = Fgv_bench.Workload
+
+let golden_counters ~config ~apply name kernels =
+  let k = List.find (fun k -> k.W.k_name = name) kernels in
+  Tm.reset ();
+  let f = W.compile_for config k in
+  ignore (apply f);
+  Tm.counters ()
+
+let check_golden expected actual =
+  List.iter
+    (fun (name, want) ->
+      Alcotest.(check int) name want
+        (try List.assoc name actual with Not_found -> 0))
+    expected
+
+let test_golden_stats_s131 () =
+  let actual =
+    golden_counters
+      ~config:(W.sv_versioning ())
+      ~apply:Fgv_passes.Pipelines.sv_versioning "s131" Fgv_bench.Tsvc.kernels
+  in
+  check_golden
+    [
+      ("plan.requests", 5);
+      ("plan.inferred", 5);
+      ("plan.conds", 24);
+      ("plan.max_secondary_depth", 0);
+      ("cut.queries", 5);
+      ("cut.edges", 24);
+      ("cut.graph_nodes", 139);
+      ("cut.maxflow_augmenting", 24);
+      ("cut.already_independent", 1);
+      ("materialize.plans", 1);
+      ("materialize.checks_emitted", 1);
+      ("materialize.cloned_insts", 16);
+      ("materialize.versioning_phis", 12);
+    ]
+    actual
+
+let test_golden_stats_floyd_warshall () =
+  let actual =
+    golden_counters
+      ~config:(W.sv_versioning ~restrict:false ())
+      ~apply:Fgv_passes.Pipelines.sv_versioning "floyd-warshall"
+      Fgv_bench.Polybench.kernels
+  in
+  check_golden
+    [
+      ("plan.requests", 7);
+      ("plan.inferred", 7);
+      ("plan.conds", 51);
+      ("cut.queries", 7);
+      ("cut.edges", 66);
+      ("cut.graph_nodes", 273);
+      ("materialize.plans", 1);
+      ("materialize.cloned_insts", 27);
+      ("materialize.versioning_phis", 23);
+      ("pass.licm.hoisted", 104);
+      ("pass.slp.vectors", 6);
+    ]
+    actual
+
 let suite =
   [
     Alcotest.test_case "fig1 plan shape (nested)" `Quick test_fig1_plan_shape;
@@ -251,4 +322,7 @@ let suite =
     Alcotest.test_case "may-alias load" `Quick test_may_alias_versioning;
     Alcotest.test_case "loop versioning" `Quick test_loop_versioning;
     Alcotest.test_case "infeasible request" `Quick test_infeasible;
+    Alcotest.test_case "golden stats: s131" `Quick test_golden_stats_s131;
+    Alcotest.test_case "golden stats: floyd-warshall" `Quick
+      test_golden_stats_floyd_warshall;
   ]
