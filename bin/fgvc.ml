@@ -5,11 +5,21 @@
    interpret the result with the cost model.
 
      fgvc kernel.c -p sv+v --dump-ir --run -a 0,64,16 --heap 256
+
+   With [--fuzz N] no input file is needed: the driver runs a
+   differential-fuzzing campaign (lib/fuzz) of N generated programs
+   through the selected pipeline (default: all of them), writes a
+   machine-readable failure report with a shrunk reproducer on mismatch,
+   and exits 4.
+
+     fgvc --fuzz 500 --seed 42
+     fgvc --fuzz 200 --pipeline sv+v --fuzz-report report.json
 *)
 
 open Cmdliner
 open Fgv_pssa
 module P = Fgv_passes
+module F = Fgv_fuzz
 module Tm = Fgv_support.Telemetry
 
 let pipelines : (string * (Ir.func -> unit)) list =
@@ -23,7 +33,72 @@ let pipelines : (string * (Ir.func -> unit)) list =
     ("rle-static", fun f -> ignore (P.Pipelines.rle_pipeline ~versioning:false f));
   ]
 
-let run_driver file pipeline dump_ir dump_cfg run args heap no_restrict stats =
+let print_stats stats =
+  match stats with
+  | None -> 0
+  | Some "json" ->
+    print_endline (Tm.json_to_string (Tm.snapshot ()));
+    0
+  | Some "text" ->
+    print_string (Tm.report ());
+    0
+  | Some other ->
+    Printf.eprintf "unknown --stats format %s (expected text or json)\n" other;
+    2
+
+(* ---------------------------------------------------------- fuzz mode *)
+
+let run_fuzz n seed pipeline report_file stats =
+  let pipelines =
+    if pipeline = "none" then F.Oracle.pipeline_names
+    else if List.mem_assoc pipeline F.Oracle.pipelines then [ pipeline ]
+    else begin
+      Printf.eprintf "unknown fuzz pipeline %s (one of: %s)\n" pipeline
+        (String.concat ", " F.Oracle.pipeline_names);
+      exit 2
+    end
+  in
+  let outcome = F.Campaign.run ~pipelines ~n ~seed () in
+  let report = F.Campaign.report_json outcome in
+  let oc = open_out report_file in
+  output_string oc (Tm.json_to_string report);
+  output_char oc '\n';
+  close_out oc;
+  (match outcome.F.Campaign.c_failure with
+  | None ->
+    Printf.printf
+      "fuzz: %d programs x %d pipelines, %d oracle runs, 0 mismatches \
+       (report: %s)\n"
+      outcome.F.Campaign.c_programs (List.length pipelines)
+      (Tm.get "fuzz.oracle_runs") report_file
+  | Some f ->
+    let m = f.F.Campaign.f_mismatch in
+    Printf.printf
+      "fuzz: MISMATCH at program %d (seed %d): %s\n\
+       shrunk to %d statements in %d steps:\n\n%s\n\n\
+       report written to %s\n"
+      f.F.Campaign.f_index f.F.Campaign.f_seed
+      (F.Oracle.mismatch_to_string m)
+      f.F.Campaign.f_shrunk_stmts f.F.Campaign.f_shrink_steps
+      f.F.Campaign.f_shrunk report_file);
+  let rc = print_stats stats in
+  if rc <> 0 then rc
+  else if outcome.F.Campaign.c_failure <> None then 4
+  else 0
+
+(* ------------------------------------------------------- compile mode *)
+
+let run_driver file fuzz seed fuzz_report pipeline dump_ir dump_cfg run args
+    heap no_restrict stats =
+  if fuzz > 0 then run_fuzz fuzz seed pipeline fuzz_report stats
+  else begin
+  let file =
+    match file with
+    | Some f -> f
+    | None ->
+      Printf.eprintf "fgvc: expected a kernel FILE (or --fuzz N)\n";
+      exit 2
+  in
   let source =
     let ic = open_in file in
     let n = in_channel_length ic in
@@ -73,21 +148,33 @@ let run_driver file pipeline dump_ir dump_cfg run args heap no_restrict stats =
       c.Interp.vector_loads c.Interp.stores c.Interp.vector_stores
       c.Interp.calls c.Interp.iterations
   end;
-  (match stats with
-  | None -> ()
-  | Some "json" -> print_endline (Tm.json_to_string (Tm.snapshot ()))
-  | Some "text" -> print_string (Tm.report ())
-  | Some other ->
-    Printf.eprintf "unknown --stats format %s (expected text or json)\n" other;
-    exit 2);
+  let rc = print_stats stats in
+  if rc <> 0 then exit rc;
   0
+  end
 
 let file =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"mini-C kernel file")
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"mini-C kernel file (omit with --fuzz)")
+
+let fuzz_opt =
+  Arg.(value & opt int 0 & info [ "fuzz" ] ~docv:"N"
+         ~doc:"differential-fuzz N generated programs instead of compiling a \
+               file; exits 4 and writes a failure report on mismatch")
+
+let seed_opt =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"base seed for --fuzz; program i uses seed SEED+i, and a \
+               failure report's seed replays that one program")
+
+let fuzz_report_opt =
+  Arg.(value & opt string "fuzz-report.json" & info [ "fuzz-report" ]
+         ~docv:"FILE" ~doc:"where --fuzz writes its machine-readable report")
 
 let pipeline =
   Arg.(value & opt string "none" & info [ "p"; "pipeline" ] ~docv:"PIPE"
-         ~doc:"optimization pipeline: none, o3-novec, o3, sv, sv+v, rle, rle-static")
+         ~doc:"optimization pipeline: none, o3-novec, o3, sv, sv+v, rle, \
+               rle-static (with --fuzz also sv+v-nopromo; none = fuzz all)")
 
 let dump_ir =
   Arg.(value & flag & info [ "dump-ir" ] ~doc:"print the predicated SSA")
@@ -123,7 +210,8 @@ let cmd =
   Cmd.v
     (Cmd.info "fgvc" ~doc)
     Term.(
-      const run_driver $ file $ pipeline $ dump_ir $ dump_cfg $ run_flag
-      $ args_opt $ heap_opt $ no_restrict $ stats_opt)
+      const run_driver $ file $ fuzz_opt $ seed_opt $ fuzz_report_opt
+      $ pipeline $ dump_ir $ dump_cfg $ run_flag $ args_opt $ heap_opt
+      $ no_restrict $ stats_opt)
 
 let () = exit (Cmd.eval' cmd)

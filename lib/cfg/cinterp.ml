@@ -94,7 +94,9 @@ let run ?(fuel = 100_000_000) ?(ffi = Interp.default_ffi) (p : C.prog)
       | Some v -> lookup v
       | None -> Value.trap "phi: no incoming for predecessor b%d" prev_block)
     | KLoad a -> (
-      let addr = Value.to_int (lookup a) in
+      let av = lookup a in
+      if Value.is_undef av then Value.undef_access "load";
+      let addr = Value.to_int av in
       match i.cty with
       | Ir.Tvec (_, n) ->
         counters.vector_loads <- counters.vector_loads + 1;
@@ -106,7 +108,9 @@ let run ?(fuel = 100_000_000) ?(ffi = Interp.default_ffi) (p : C.prog)
         check_addr addr;
         mem.(addr))
     | KStore (a, x) -> (
-      let addr = Value.to_int (lookup a) in
+      let av = lookup a in
+      if Value.is_undef av then Value.undef_access "store";
+      let addr = Value.to_int av in
       match lookup x with
       | VVec lanes ->
         counters.vector_stores <- counters.vector_stores + 1;

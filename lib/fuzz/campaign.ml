@@ -1,0 +1,120 @@
+(* Fuzz-campaign driver: generate N programs, judge each with the
+   multi-oracle checker, and on the first mismatch shrink the program
+   and produce a machine-readable failure report.
+
+   Per-program seeds are [base_seed + index], and everything the
+   generator varies (pointer count, int arrays, restrict) is a function
+   of the per-program seed alone, so a reported failure replays with
+   [fgvc --fuzz 1 --seed <that seed>]. *)
+
+module Tm = Fgv_support.Telemetry
+
+type failure = {
+  f_seed : int;  (** per-program seed: the replay handle *)
+  f_index : int;  (** position in the campaign *)
+  f_mismatch : Oracle.mismatch;
+  f_program : string;  (** rendered original program *)
+  f_shrunk : string;  (** rendered minimal reproducer *)
+  f_shrunk_stmts : int;
+  f_shrink_steps : int;
+}
+
+type outcome = {
+  c_programs : int;
+  c_seed : int;
+  c_pipelines : string list;
+  c_failure : failure option;
+}
+
+(* A shrink candidate reproduces the failure when the *same pipeline*
+   reports a mismatch of the *same kind* — chasing a different bug
+   mid-reduction would minimize the wrong thing. *)
+let same_failure (m0 : Oracle.mismatch) (m : Oracle.mismatch) =
+  m.Oracle.mm_pipeline = m0.Oracle.mm_pipeline
+  && m.Oracle.mm_kind = m0.Oracle.mm_kind
+
+let shrink_failure ~config (fd : Fgv_frontend.Ast.fdecl)
+    (m0 : Oracle.mismatch) =
+  let still_failing cand =
+    match
+      Oracle.check ~pipelines:[ m0.Oracle.mm_pipeline ] ~config cand
+    with
+    | Some m -> same_failure m0 m
+    | None -> false
+  in
+  Shrink.shrink ~still_failing fd
+
+let run ?(config = Generator.default_config)
+    ?(pipelines = Oracle.pipeline_names) ~n ~seed () : outcome =
+  Tm.time "fuzz.campaign" (fun () ->
+      let failure = ref None in
+      let i = ref 0 in
+      while !failure = None && !i < n do
+        let pseed = seed + !i in
+        let cfg = Generator.vary config ~seed:pseed in
+        let fd = Generator.generate ~config:cfg ~seed:pseed () in
+        (match Oracle.check ~pipelines ~config:cfg fd with
+        | None -> ()
+        | Some m ->
+          let shrunk, steps = shrink_failure ~config:cfg fd m in
+          failure :=
+            Some
+              {
+                f_seed = pseed;
+                f_index = !i;
+                f_mismatch = m;
+                f_program = Generator.render fd;
+                f_shrunk = Generator.render shrunk;
+                f_shrunk_stmts = Shrink.stmt_count_list shrunk.Fgv_frontend.Ast.fdbody;
+                f_shrink_steps = steps;
+              });
+        incr i
+      done;
+      {
+        c_programs = !i;
+        c_seed = seed;
+        c_pipelines = pipelines;
+        c_failure = !failure;
+      })
+
+(* ------------------------------------------------------------- report *)
+
+let failure_json (f : failure) : Tm.json =
+  let m = f.f_mismatch in
+  Tm.Assoc
+    [
+      ("seed", Tm.Int f.f_seed);
+      ("index", Tm.Int f.f_index);
+      ("pipeline", Tm.String m.Oracle.mm_pipeline);
+      ("kind", Tm.String m.Oracle.mm_kind);
+      ( "pass",
+        match m.Oracle.mm_pass with
+        | Some p -> Tm.String p
+        | None -> Tm.Null );
+      ("binding", Tm.List (List.map (fun b -> Tm.Int b) m.Oracle.mm_binding));
+      ("detail", Tm.String m.Oracle.mm_detail);
+      ("program", Tm.String f.f_program);
+      ("shrunk", Tm.String f.f_shrunk);
+      ("shrunk_stmts", Tm.Int f.f_shrunk_stmts);
+      ("shrink_steps", Tm.Int f.f_shrink_steps);
+      ( "reproduce",
+        Tm.String
+          (Printf.sprintf "fgvc --fuzz 1 --seed %d --pipeline %s" f.f_seed
+             m.Oracle.mm_pipeline) );
+    ]
+
+let report_json (o : outcome) : Tm.json =
+  Tm.Assoc
+    [
+      ("schema_version", Tm.Int 1);
+      ("tool", Tm.String "fgvc --fuzz");
+      ("programs", Tm.Int o.c_programs);
+      ("seed", Tm.Int o.c_seed);
+      ("pipelines", Tm.List (List.map (fun p -> Tm.String p) o.c_pipelines));
+      ("oracle_runs", Tm.Int (Tm.get "fuzz.oracle_runs"));
+      ("mismatches", Tm.Int (Tm.get "fuzz.mismatches"));
+      ( "failure",
+        match o.c_failure with
+        | None -> Tm.Null
+        | Some f -> failure_json f );
+    ]

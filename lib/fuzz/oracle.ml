@@ -1,0 +1,281 @@
+(* Multi-oracle equivalence checker for the differential-fuzzing
+   subsystem.
+
+   One generated program is judged by three oracles:
+
+   1. the PSSA reference interpreter on the *untransformed* function
+      (ground truth);
+   2. the PSSA interpreter on the function after a full optimization
+      pipeline;
+   3. the CFG interpreter ({!Fgv_cfg.Cinterp}) on the transformed
+      function lowered through {!Fgv_cfg.Lower} — which cross-checks the
+      CFG lowering itself, not just the pipeline.
+
+   All three must agree on the observable behaviour — final memory plus
+   the ordered impure-call trace — under *every* binding layout the
+   generator's binding generator produces (disjoint, identical,
+   partially overlapping bases).  Additionally {!Fgv_pssa.Verifier} runs
+   after every individual pass (via the pipelines' [?on_pass] hook), so
+   an IR invariant broken by one transform is blamed on that transform,
+   not discovered at the end of the pipeline.
+
+   Runs that trap are classified by trap kind: both sides raising
+   {!Fgv_pssa.Value.Undef_access} on the same operation (or both
+   trapping, or both running out of fuel) counts as agreement — the
+   transformed program is allowed to fault exactly like the original —
+   while a trap on one side only is a mismatch. *)
+
+open Fgv_pssa
+open Fgv_frontend
+module P = Fgv_passes
+module Tm = Fgv_support.Telemetry
+
+type observation = {
+  o_mem : Value.t array;
+  o_trace : (string * Value.t list) list;
+}
+
+type run_class =
+  | Finished of observation
+  | Trapped of string  (** [Value.Trap] message *)
+  | Undef_trap of string  (** [Value.Undef_access] operation *)
+  | Exhausted  (** interpreter fuel ran out *)
+
+(* Raised out of the [?on_pass] hook so a broken invariant names the
+   offending pass. *)
+exception Pass_broke_ir of { pass : string; message : string }
+
+type mismatch = {
+  mm_pipeline : string;
+  mm_kind : string;
+      (** "verifier" | "pssa-diff" | "cfg-diff" | "pipeline-crash"
+          | "cfg-lower-crash" *)
+  mm_pass : string option;  (** for "verifier": the offending pass *)
+  mm_binding : int list;  (** pointer bases; [] when not binding-specific *)
+  mm_detail : string;
+}
+
+let mismatch_to_string m =
+  Printf.sprintf "[%s/%s%s]%s %s" m.mm_pipeline m.mm_kind
+    (match m.mm_pass with Some p -> " after " ^ p | None -> "")
+    (match m.mm_binding with
+    | [] -> ""
+    | bs -> " bases=" ^ String.concat "," (List.map string_of_int bs))
+    m.mm_detail
+
+(* ----------------------------------------------------------- pipelines *)
+
+(* Every pipeline in {!Fgv_passes.Pipelines}, under the same names the
+   [fgvc] driver uses.  "sv+v-nopromo" pins condition promotion off so
+   both promotion settings are fuzzed. *)
+let pipelines :
+    (string * (on_pass:(string -> Ir.func -> unit) -> Ir.func -> unit)) list =
+  [
+    ("o3-novec", fun ~on_pass f -> ignore (P.Pipelines.o3_novec ~on_pass f));
+    ("o3", fun ~on_pass f -> ignore (P.Pipelines.o3 ~on_pass f));
+    ("sv", fun ~on_pass f -> ignore (P.Pipelines.sv ~on_pass f));
+    ("sv+v", fun ~on_pass f -> ignore (P.Pipelines.sv_versioning ~on_pass f));
+    ( "sv+v-nopromo",
+      fun ~on_pass f ->
+        ignore (P.Pipelines.sv_versioning ~promotion:false ~on_pass f) );
+    ("rle", fun ~on_pass f -> ignore (P.Pipelines.rle_pipeline ~on_pass f));
+    ( "rle-static",
+      fun ~on_pass f ->
+        ignore (P.Pipelines.rle_pipeline ~versioning:false ~on_pass f) );
+  ]
+
+let pipeline_names = List.map fst pipelines
+
+let verify_after_each_pass pass f =
+  match Verifier.verify_or_message f with
+  | None -> ()
+  | Some message -> raise (Pass_broke_ir { pass; message })
+
+(* ----------------------------------------------------------- execution *)
+
+(* Fuel low enough that a pathological program cannot stall a campaign:
+   generated loops run at most a few hundred iterations. *)
+let fuel = 2_000_000
+
+let classify (run : unit -> observation) : run_class =
+  match run () with
+  | obs -> Finished obs
+  | exception Value.Undef_access op -> Undef_trap op
+  | exception Value.Trap msg -> Trapped msg
+  | exception Interp.Out_of_fuel | exception Fgv_cfg.Cinterp.Out_of_fuel ->
+    Exhausted
+
+let run_pssa config (f : Ir.func) (layout : int list) : run_class =
+  Tm.incr "fuzz.oracle_runs";
+  classify (fun () ->
+      let out =
+        Interp.run ~fuel f
+          ~args:(Generator.args_for config layout)
+          ~mem:(Generator.fresh_mem config)
+      in
+      { o_mem = out.Interp.memory; o_trace = out.Interp.call_trace })
+
+let run_cfg config (prog : Fgv_cfg.Cir.prog) (layout : int list) : run_class =
+  Tm.incr "fuzz.oracle_runs";
+  classify (fun () ->
+      let out =
+        Fgv_cfg.Cinterp.run ~fuel prog
+          ~args:(Generator.args_for config layout)
+          ~mem:(Generator.fresh_mem config)
+      in
+      { o_mem = out.Fgv_cfg.Cinterp.memory;
+        o_trace = out.Fgv_cfg.Cinterp.call_trace })
+
+let observations_equal (a : observation) (b : observation) =
+  Array.length a.o_mem = Array.length b.o_mem
+  && Array.for_all2 Value.equal a.o_mem b.o_mem
+  && List.length a.o_trace = List.length b.o_trace
+  && List.for_all2
+       (fun (n1, a1) (n2, a2) ->
+         n1 = n2
+         && List.length a1 = List.length a2
+         && List.for_all2 Value.equal a1 a2)
+       a.o_trace b.o_trace
+
+let class_name = function
+  | Finished _ -> "finished"
+  | Trapped m -> "trap: " ^ m
+  | Undef_trap op -> "undef-address " ^ op
+  | Exhausted -> "out of fuel"
+
+(* First differing observable, for the report. *)
+let diff_detail (a : observation) (b : observation) =
+  let cell = ref None in
+  Array.iteri
+    (fun i x ->
+      if !cell = None && not (Value.equal x b.o_mem.(i)) then cell := Some i)
+    a.o_mem;
+  match !cell with
+  | Some i ->
+    Printf.sprintf "mem[%d]: reference %s, subject %s" i
+      (Value.to_string a.o_mem.(i))
+      (Value.to_string b.o_mem.(i))
+  | None ->
+    Printf.sprintf "impure-call traces differ (reference %d calls: %s; subject %d calls: %s)"
+      (List.length a.o_trace)
+      (String.concat ";" (List.map fst a.o_trace))
+      (List.length b.o_trace)
+      (String.concat ";" (List.map fst b.o_trace))
+
+(* Agreement up to identical faulting: equal observations, or the same
+   trap class (same operation for undef-address traps). *)
+let runs_agree (a : run_class) (b : run_class) : string option =
+  match (a, b) with
+  | Finished x, Finished y ->
+    if observations_equal x y then None else Some (diff_detail x y)
+  | Trapped _, Trapped _ -> None
+  | Undef_trap x, Undef_trap y ->
+    if x = y then None
+    else Some (Printf.sprintf "undef-address trap on %s vs %s" x y)
+  | Exhausted, Exhausted -> None
+  | x, y ->
+    Some (Printf.sprintf "reference %s, subject %s" (class_name x) (class_name y))
+
+(* --------------------------------------------------------- the checker *)
+
+(* Compare two PSSA functions observationally over the given layouts
+   (used directly by property tests that transform [subject] piecemeal,
+   e.g. through the versioning API rather than a whole pipeline). *)
+let compare_funcs ~(config : Generator.config) ~layouts ~(label : string)
+    (reference : Ir.func) (subject : Ir.func) : mismatch option =
+  List.find_map
+    (fun layout ->
+      let a = run_pssa config reference layout in
+      let b = run_pssa config subject layout in
+      match runs_agree a b with
+      | None -> None
+      | Some detail ->
+        Tm.incr "fuzz.mismatches";
+        Some
+          {
+            mm_pipeline = label;
+            mm_kind = "pssa-diff";
+            mm_pass = None;
+            mm_binding = layout;
+            mm_detail = detail;
+          })
+    layouts
+
+(* Run one pipeline over a fresh lowering of [fd] and check the three
+   oracles under every layout. *)
+let check_pipeline ~(config : Generator.config) (fd : Fgv_frontend.Ast.fdecl)
+    (name : string) : mismatch option =
+  let runner =
+    match List.assoc_opt name pipelines with
+    | Some r -> r
+    | None -> invalid_arg ("Oracle.check_pipeline: unknown pipeline " ^ name)
+  in
+  match Lower_ast.lower_fdecl fd with
+  | exception Lower_ast.Error _ ->
+    Tm.incr "fuzz.rejected";
+    None
+  | reference -> (
+    let subject = Lower_ast.lower_fdecl fd in
+    let layouts = Generator.layouts_for config in
+    match runner ~on_pass:verify_after_each_pass subject with
+    | exception Pass_broke_ir { pass; message } ->
+      Tm.incr "fuzz.mismatches";
+      Some
+        {
+          mm_pipeline = name;
+          mm_kind = "verifier";
+          mm_pass = Some pass;
+          mm_binding = [];
+          mm_detail = message;
+        }
+    | exception e ->
+      Tm.incr "fuzz.mismatches";
+      Some
+        {
+          mm_pipeline = name;
+          mm_kind = "pipeline-crash";
+          mm_pass = None;
+          mm_binding = [];
+          mm_detail = Printexc.to_string e;
+        }
+    | () -> (
+      match compare_funcs ~config ~layouts ~label:name reference subject with
+      | Some m -> Some m
+      | None -> (
+        (* third oracle: CFG lowering of the transformed function *)
+        match Fgv_cfg.Lower.lower subject with
+        | exception e ->
+          Tm.incr "fuzz.mismatches";
+          Some
+            {
+              mm_pipeline = name;
+              mm_kind = "cfg-lower-crash";
+              mm_pass = None;
+              mm_binding = [];
+              mm_detail = Printexc.to_string e;
+            }
+        | prog ->
+          List.find_map
+            (fun layout ->
+              let a = run_pssa config reference layout in
+              let b = run_cfg config prog layout in
+              match runs_agree a b with
+              | None -> None
+              | Some detail ->
+                Tm.incr "fuzz.mismatches";
+                Some
+                  {
+                    mm_pipeline = name;
+                    mm_kind = "cfg-diff";
+                    mm_pass = None;
+                    mm_binding = layout;
+                    mm_detail = detail;
+                  })
+            layouts)))
+
+(* Check one program against every requested pipeline; first mismatch
+   wins. *)
+let check ?(pipelines = pipeline_names) ~(config : Generator.config)
+    (fd : Fgv_frontend.Ast.fdecl) : mismatch option =
+  Tm.incr "fuzz.programs";
+  List.find_map (fun name -> check_pipeline ~config fd name) pipelines

@@ -1,0 +1,156 @@
+(* Greedy delta-debugging reducer over the mini-C AST.
+
+   Given a failing program and a [still_failing] predicate (normally:
+   "the oracle still reports a mismatch of the same kind for the same
+   pipeline"), the shrinker repeatedly applies the first single-step
+   reduction that keeps the failure alive, until no reduction does (or a
+   step cap is hit).  Reductions, roughly by aggressiveness:
+
+   - drop a statement (at any nesting depth);
+   - unnest control flow: replace an [if] with one of its branches, a
+     loop with [init; body] (one unrolled iteration), a [while] with its
+     body;
+   - shrink constants toward zero (halving first, so the reducer can
+     walk down a magnitude without skipping the interesting value);
+   - collapse expressions: a binary operation to one operand, a ternary
+     to one arm, an index expression to a constant.
+
+   Type-invalid candidates (dropping a declaration that still has uses,
+   collapsing a float expression to an int operand, ...) are rejected by
+   the frontend during the oracle re-check, so [still_failing] simply
+   returns false for them: no type bookkeeping is needed here.
+
+   Every accepted reduction bumps the [fuzz.shrink_steps] telemetry
+   counter; every candidate tried bumps [fuzz.shrink_attempts]. *)
+
+open Fgv_frontend
+module Tm = Fgv_support.Telemetry
+
+(* All one-step reductions of an expression (same type where possible;
+   ill-typed candidates are filtered by the re-check). *)
+let rec shrink_expr (e : Ast.expr) : Ast.expr list =
+  match e with
+  | Ast.Eint 0 -> []
+  | Ast.Eint n ->
+    (* jump to zero first: halving alone can take hundreds of accepted
+       steps to walk a float down to a denormal *)
+    Ast.Eint 0 :: (if n / 2 <> 0 then [ Ast.Eint (n / 2) ] else [])
+  | Ast.Efloat x ->
+    if x = 0.0 then []
+    else
+      Ast.Efloat 0.0
+      :: (if x /. 2.0 <> 0.0 then [ Ast.Efloat (x /. 2.0) ] else [])
+  | Ast.Ebool _ | Ast.Evar _ -> []
+  | Ast.Eindex (p, i) ->
+    (if i <> Ast.Eint 0 then [ Ast.Eindex (p, Ast.Eint 0) ] else [])
+    @ List.map (fun i' -> Ast.Eindex (p, i')) (shrink_expr i)
+  | Ast.Ebin (op, a, b) ->
+    [ a; b ]
+    @ List.map (fun a' -> Ast.Ebin (op, a', b)) (shrink_expr a)
+    @ List.map (fun b' -> Ast.Ebin (op, a, b')) (shrink_expr b)
+  | Ast.Eun (op, a) ->
+    (a :: List.map (fun a' -> Ast.Eun (op, a')) (shrink_expr a))
+  | Ast.Eternary (c, a, b) ->
+    [ a; b ]
+    @ List.map (fun c' -> Ast.Eternary (c', a, b)) (shrink_expr c)
+    @ List.map (fun a' -> Ast.Eternary (c, a', b)) (shrink_expr a)
+    @ List.map (fun b' -> Ast.Eternary (c, a, b')) (shrink_expr b)
+  | Ast.Ecall (f, args) ->
+    List.mapi
+      (fun i _ ->
+        List.map
+          (fun a' ->
+            Ast.Ecall (f, List.mapi (fun j a -> if i = j then a' else a) args))
+          (shrink_expr (List.nth args i)))
+      args
+    |> List.concat
+  | Ast.Ecast (t, a) ->
+    List.map (fun a' -> Ast.Ecast (t, a')) (shrink_expr a)
+
+(* One-step reductions of a single statement.  Each candidate is the
+   replacement statement *list* (a structural reduction may splice in
+   several statements, or none). *)
+let rec shrink_stmt (s : Ast.stmt) : Ast.stmt list list =
+  match s with
+  | Ast.Sdecl (t, x, e) ->
+    List.map (fun e' -> [ Ast.Sdecl (t, x, e') ]) (shrink_expr e)
+  | Ast.Sassign (x, e) ->
+    List.map (fun e' -> [ Ast.Sassign (x, e') ]) (shrink_expr e)
+  | Ast.Sstore (p, i, e) ->
+    List.map (fun i' -> [ Ast.Sstore (p, i', e) ]) (shrink_expr i)
+    @ List.map (fun e' -> [ Ast.Sstore (p, i, e') ]) (shrink_expr e)
+  | Ast.Sexpr e -> List.map (fun e' -> [ Ast.Sexpr e' ]) (shrink_expr e)
+  | Ast.Sif (c, t, e) ->
+    [ t; e ]
+    @ List.map (fun t' -> [ Ast.Sif (c, t', e) ]) (shrink_stmts t)
+    @ List.map (fun e' -> [ Ast.Sif (c, t, e') ]) (shrink_stmts e)
+    @ List.map (fun c' -> [ Ast.Sif (c', t, e) ]) (shrink_expr c)
+  | Ast.Sfor (init, c, step, body) ->
+    (* unnest: one unrolled iteration keeps the induction variable's
+       declaration in scope for the body *)
+    [ init :: body ]
+    @ List.map (fun b' -> [ Ast.Sfor (init, c, step, b') ]) (shrink_stmts body)
+    @ List.map (fun c' -> [ Ast.Sfor (init, c', step, body) ]) (shrink_expr c)
+  | Ast.Swhile (c, body) ->
+    [ body ]
+    @ List.map (fun b' -> [ Ast.Swhile (c, b') ]) (shrink_stmts body)
+
+(* All one-step reductions of a statement list: drop one statement, or
+   reduce one statement in place. *)
+and shrink_stmts (ss : Ast.stmt list) : Ast.stmt list list =
+  let drops =
+    List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) ss) ss
+  in
+  let replaced =
+    List.concat
+      (List.mapi
+         (fun i s ->
+           List.map
+             (fun repl ->
+               List.concat
+                 (List.mapi (fun j s' -> if i = j then repl else [ s' ]) ss))
+             (shrink_stmt s))
+         ss)
+  in
+  drops @ replaced
+
+let candidates (fd : Ast.fdecl) : Ast.fdecl list =
+  List.map (fun body -> { fd with Ast.fdbody = body }) (shrink_stmts fd.Ast.fdbody)
+
+(* Greedy reduction loop: take the first candidate that still fails,
+   restart from it; stop at a fixpoint or after [max_steps] accepted
+   reductions.  Returns the reduced program and the number of accepted
+   steps. *)
+let shrink ?(max_steps = 500) ~(still_failing : Ast.fdecl -> bool)
+    (fd0 : Ast.fdecl) : Ast.fdecl * int =
+  let steps = ref 0 in
+  let rec go fd =
+    if !steps >= max_steps then fd
+    else
+      let next =
+        List.find_opt
+          (fun c ->
+            Tm.incr "fuzz.shrink_attempts";
+            still_failing c)
+          (candidates fd)
+      in
+      match next with
+      | Some c ->
+        incr steps;
+        Tm.incr "fuzz.shrink_steps";
+        go c
+      | None -> fd
+  in
+  let reduced = go fd0 in
+  (reduced, !steps)
+
+(* Statement count of a program (all nesting levels), for reporting and
+   for the test suite's "shrinks to <= k statements" assertions. *)
+let rec stmt_count_list ss = List.fold_left (fun n s -> n + stmt_count s) 0 ss
+
+and stmt_count = function
+  | Ast.Sdecl _ | Ast.Sassign _ | Ast.Sstore _ | Ast.Sexpr _ -> 1
+  | Ast.Sif (_, t, e) -> 1 + stmt_count_list t + stmt_count_list e
+  | Ast.Sfor (init, _, step, body) ->
+    1 + stmt_count init + stmt_count step + stmt_count_list body
+  | Ast.Swhile (_, body) -> 1 + stmt_count_list body

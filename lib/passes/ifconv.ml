@@ -35,6 +35,23 @@ let rec pred_value f acc (p : Pred.t) : Ir.value_id =
     List.fold_left (fun a v -> emit (Ir.Binop (Bor, a, v))) (List.hd vs) (List.tl vs)
 
 let convertible f lp =
+  (* Speculating an instruction is only sound if everything it reads is
+     actually computed on the speculated path.  Operands defined inside
+     the loop are fine (they get speculated together), but an operand
+     defined *outside* under a non-true predicate — e.g. a guarded
+     address computation that LICM hoisted with its predicate — stays
+     undef when the guard is false, and the speculated use would read
+     it unconditionally. *)
+  let inside = Hashtbl.create 16 in
+  List.iter
+    (fun v -> Hashtbl.replace inside v ())
+    (lp.Ir.mus @ List.concat_map (Ir.defined_values f) lp.Ir.body);
+  let operands_available i =
+    List.for_all
+      (fun o ->
+        Hashtbl.mem inside o || Pred.equal (Ir.inst f o).Ir.ipred Pred.tru)
+      (Ir.all_operands i)
+  in
   List.for_all
     (fun item ->
       match item with
@@ -44,7 +61,7 @@ let convertible f lp =
         match i.kind with
         | Ir.Call _ -> Pred.equal i.ipred Pred.tru
         | Ir.Binop ((Ir.Div | Ir.Rem), _, _) -> Pred.equal i.ipred Pred.tru
-        | _ -> true))
+        | _ -> Pred.equal i.ipred Pred.tru || operands_available i))
     lp.Ir.body
 
 let convert_loop f lp =

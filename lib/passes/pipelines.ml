@@ -11,6 +11,13 @@
      consults the fine-grained versioning framework.
    - [rle_*]: the redundant-load-elimination pipelines of Fig. 22.
 
+   Every pipeline is a sequence of named stages, and every entry point
+   takes an optional [?on_pass] observer invoked as [on_pass name f]
+   after each individual stage.  The differential-fuzzing oracle uses
+   the hook to run {!Fgv_pssa.Verifier} after every pass, so an IR
+   invariant broken by one transform is reported against that transform
+   rather than at the end of the pipeline.
+
    Every pass reports its work through the {!Fgv_support.Telemetry}
    registry (names "pass.<pass>.<metric>"), uniformly with the
    versioning framework's own counters; the [pass_stats] record remains
@@ -42,48 +49,102 @@ let new_pass_stats () =
     rle_groups = 0;
   }
 
-let cleanup f stats =
-  ignore (Constfold.run f);
-  let n = Dce.run f in
-  stats.dce_removed <- stats.dce_removed + n;
-  Tm.incr ~by:n "pass.dce.removed"
+(* ------------------------------------------------------------- stages *)
 
-let scalar_passes f stats =
-  ignore (Constfold.run f);
-  let g = Gvn.run f in
-  stats.gvn_deleted <- stats.gvn_deleted + g;
-  Tm.incr ~by:g "pass.gvn.deleted";
-  let h = Licm.run f in
-  stats.licm_hoisted <- stats.licm_hoisted + h;
-  Tm.incr ~by:h "pass.licm.hoisted";
-  cleanup f stats
+(* A stage is a named unit of pipeline work; observers hook in between. *)
+type stage = string * (unit -> unit)
 
-let o3_novec (f : Ir.func) : pass_stats =
-  Tm.time "pipeline.o3_novec" (fun () ->
-      let stats = new_pass_stats () in
-      scalar_passes f stats;
-      stats)
+let run_stages ?on_pass (f : Ir.func) (stages : stage list) : unit =
+  List.iter
+    (fun (name, run) ->
+      run ();
+      match on_pass with Some h -> h name f | None -> ())
+    stages
 
-let o3 ?(vl = 4) (f : Ir.func) : pass_stats =
-  Tm.time "pipeline.o3" (fun () ->
-      let stats = new_pass_stats () in
-      scalar_passes f stats;
-      ignore (Ifconv.run f);
+let st_constfold f : stage = ("constfold", fun () -> ignore (Constfold.run f))
+
+let st_dce f stats : stage =
+  ( "dce",
+    fun () ->
+      let n = Dce.run f in
+      stats.dce_removed <- stats.dce_removed + n;
+      Tm.incr ~by:n "pass.dce.removed" )
+
+let st_gvn f stats : stage =
+  ( "gvn",
+    fun () ->
+      let g = Gvn.run f in
+      stats.gvn_deleted <- stats.gvn_deleted + g;
+      Tm.incr ~by:g "pass.gvn.deleted" )
+
+let st_licm f stats : stage =
+  ( "licm",
+    fun () ->
+      let h = Licm.run f in
+      stats.licm_hoisted <- stats.licm_hoisted + h;
+      Tm.incr ~by:h "pass.licm.hoisted" )
+
+let cleanup_stages f stats = [ st_constfold f; st_dce f stats ]
+
+let scalar_stages f stats =
+  [ st_constfold f; st_gvn f stats; st_licm f stats ] @ cleanup_stages f stats
+
+let st_ifconv f : stage = ("ifconv", fun () -> ignore (Ifconv.run f))
+
+let st_loopvec ~vl f stats : stage =
+  ( "loopvec",
+    fun () ->
       let ls = Loopvec.run ~vl f in
       stats.loops_vectorized <- ls.Loopvec.loops_vectorized;
-      Tm.incr ~by:ls.Loopvec.loops_vectorized "pass.loopvec.loops";
-      scalar_passes f stats;
+      Tm.incr ~by:ls.Loopvec.loops_vectorized "pass.loopvec.loops" )
+
+let st_unroll ~factor f : stage =
+  ("unroll", fun () -> ignore (Unroll.run ~factor f))
+
+let st_slp ~config f stats : stage =
+  ( "slp",
+    fun () ->
+      let n, slp_stats = Slp.run ~config f in
+      stats.slp_vectors <- n;
+      stats.slp_plans <- slp_stats.Slp.plans_used;
+      Tm.incr ~by:n "pass.slp.vectors";
+      Tm.incr ~by:slp_stats.Slp.plans_used "pass.slp.plans" )
+
+let st_rle ~versioning f stats : stage =
+  ( "rle",
+    fun () ->
+      let rs = Rle.run ~versioning f in
+      stats.rle_eliminated <- rs.Rle.loads_eliminated;
+      stats.rle_groups <- rs.Rle.groups_found;
+      Tm.incr ~by:rs.Rle.loads_eliminated "pass.rle.eliminated";
+      Tm.incr ~by:rs.Rle.groups_found "pass.rle.groups" )
+
+(* The scalar sub-pipeline as a plain function, for harness code that
+   composes custom configurations (e.g. the condopt ablation). *)
+let scalar_passes ?on_pass f stats = run_stages ?on_pass f (scalar_stages f stats)
+
+(* ---------------------------------------------------------- pipelines *)
+
+let o3_novec ?on_pass (f : Ir.func) : pass_stats =
+  Tm.time "pipeline.o3_novec" (fun () ->
+      let stats = new_pass_stats () in
+      run_stages ?on_pass f (scalar_stages f stats);
       stats)
 
-let sv ?(vl = 4) ?(versioning = false) ?(promotion = false) (f : Ir.func) :
-    pass_stats =
+let o3 ?(vl = 4) ?on_pass (f : Ir.func) : pass_stats =
+  Tm.time "pipeline.o3" (fun () ->
+      let stats = new_pass_stats () in
+      run_stages ?on_pass f
+        (scalar_stages f stats
+        @ [ st_ifconv f; st_loopvec ~vl f stats ]
+        @ scalar_stages f stats);
+      stats)
+
+let sv ?(vl = 4) ?(versioning = false) ?(promotion = false) ?on_pass
+    (f : Ir.func) : pass_stats =
   Tm.time (if versioning then "pipeline.sv_versioning" else "pipeline.sv")
     (fun () ->
       let stats = new_pass_stats () in
-      scalar_passes f stats;
-      ignore (Ifconv.run f);
-      ignore (Unroll.run ~factor:vl f);
-      ignore (Constfold.run f);
       let config =
         if versioning then
           {
@@ -94,56 +155,46 @@ let sv ?(vl = 4) ?(versioning = false) ?(promotion = false) (f : Ir.func) :
           }
         else { Slp.static_config with vl }
       in
-      let n, slp_stats = Slp.run ~config f in
-      stats.slp_vectors <- n;
-      stats.slp_plans <- slp_stats.Slp.plans_used;
-      Tm.incr ~by:n "pass.slp.vectors";
-      Tm.incr ~by:slp_stats.Slp.plans_used "pass.slp.plans";
-      (* hoist loop-invariant check code, then clean up the scalar remains *)
-      scalar_passes f stats;
+      run_stages ?on_pass f
+        (scalar_stages f stats
+        @ [
+            st_ifconv f;
+            st_unroll ~factor:vl f;
+            st_constfold f;
+            st_slp ~config f stats;
+          ]
+        (* hoist loop-invariant check code, then clean up the scalar
+           remains *)
+        @ scalar_stages f stats);
       stats)
 
-let sv_versioning ?(vl = 4) ?(promotion = true) f =
-  sv ~vl ~versioning:true ~promotion f
+let sv_versioning ?(vl = 4) ?(promotion = true) ?on_pass f =
+  sv ~vl ~versioning:true ~promotion ?on_pass f
 
 (* ------------------------------------------------------ RLE pipelines *)
 
 (* Fig. 22 configuration: scalar pipeline, versioning-based RLE, then
    LICM and GVN run again downstream (the paper reports how much *more*
    work they do after RLE). *)
-let rle_pipeline ?(versioning = true) (f : Ir.func) : pass_stats =
+let rle_pipeline ?(versioning = true) ?on_pass (f : Ir.func) : pass_stats =
   Tm.time "pipeline.rle" (fun () ->
-      let stats = new_pass_stats () in
-      scalar_passes f stats;
+      let pre = new_pass_stats () in
+      run_stages ?on_pass f (scalar_stages f pre);
       (* reset: the paper's counters are about the passes running after RLE *)
       let stats = new_pass_stats () in
-      let rs = Rle.run ~versioning f in
-      stats.rle_eliminated <- rs.Rle.loads_eliminated;
-      stats.rle_groups <- rs.Rle.groups_found;
-      Tm.incr ~by:rs.Rle.loads_eliminated "pass.rle.eliminated";
-      Tm.incr ~by:rs.Rle.groups_found "pass.rle.groups";
-      ignore (Constfold.run f);
-      let h = Licm.run f in
-      stats.licm_hoisted <- stats.licm_hoisted + h;
-      Tm.incr ~by:h "pass.licm.hoisted";
-      let g = Gvn.run f in
-      stats.gvn_deleted <- stats.gvn_deleted + g;
-      Tm.incr ~by:g "pass.gvn.deleted";
-      cleanup f stats;
+      run_stages ?on_pass f
+        ([ st_rle ~versioning f stats; st_constfold f ]
+        @ [ st_licm f stats; st_gvn f stats ]
+        @ cleanup_stages f stats);
       stats)
 
 (* The baseline for Fig. 22: the same downstream passes, no RLE. *)
-let rle_baseline (f : Ir.func) : pass_stats =
+let rle_baseline ?on_pass (f : Ir.func) : pass_stats =
   Tm.time "pipeline.rle_baseline" (fun () ->
+      let pre = new_pass_stats () in
+      run_stages ?on_pass f (scalar_stages f pre);
       let stats = new_pass_stats () in
-      scalar_passes f stats;
-      let stats = new_pass_stats () in
-      ignore (Constfold.run f);
-      let h = Licm.run f in
-      stats.licm_hoisted <- stats.licm_hoisted + h;
-      Tm.incr ~by:h "pass.licm.hoisted";
-      let g = Gvn.run f in
-      stats.gvn_deleted <- stats.gvn_deleted + g;
-      Tm.incr ~by:g "pass.gvn.deleted";
-      cleanup f stats;
+      run_stages ?on_pass f
+        ([ st_constfold f; st_licm f stats; st_gvn f stats ]
+        @ cleanup_stages f stats);
       stats)

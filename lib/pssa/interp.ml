@@ -66,6 +66,27 @@ let default_ffi : ffi =
       fun _ mem ->
         if Array.length mem > 0 then mem.(0) <- VFloat 42.0;
         VInt 0 );
+    (* reads one (wrapped) cell; numeric whatever the cell holds *)
+    ( "opaque_read",
+      fun args mem ->
+        if Array.length mem = 0 then VFloat 0.0
+        else
+          let i = Value.to_int (List.hd args) in
+          let i = ((i mod Array.length mem) + Array.length mem) mod Array.length mem in
+          (match mem.(i) with
+          | VFloat x -> VFloat x
+          | VInt n -> VFloat (Float.of_int n)
+          | VBool b -> VFloat (if b then 1.0 else 0.0)
+          | _ -> VFloat 0.0) );
+    (* clobbers one (wrapped) cell: a spurious-write generator *)
+    ( "opaque_touch",
+      fun args mem ->
+        if Array.length mem > 0 then begin
+          let i = Value.to_int (List.hd args) in
+          let i = ((i mod Array.length mem) + Array.length mem) mod Array.length mem in
+          mem.(i) <- VFloat 7.0
+        end;
+        VInt 0 );
   ]
 
 let lift_int_op op a b = Value.VInt (op (Value.to_int a) (Value.to_int b))
@@ -194,7 +215,9 @@ let run ?(fuel = 100_000_000) ?(ffi = default_ffi) (f : func)
     | Mu _ -> Value.trap "mu executed outside loop header"
     | Eta { value; _ } -> lookup value
     | Load { addr } -> (
-      let a = Value.to_int (lookup addr) in
+      let av = lookup addr in
+      if Value.is_undef av then Value.undef_access "load";
+      let a = Value.to_int av in
       match i.ty with
       | Tvec (_, n) ->
         counters.vector_loads <- counters.vector_loads + 1;
@@ -206,7 +229,9 @@ let run ?(fuel = 100_000_000) ?(ffi = default_ffi) (f : func)
         check_addr a;
         mem.(a))
     | Store { addr; value } -> (
-      let a = Value.to_int (lookup addr) in
+      let av = lookup addr in
+      if Value.is_undef av then Value.undef_access "store";
+      let a = Value.to_int av in
       match lookup value with
       | VVec lanes ->
         counters.vector_stores <- counters.vector_stores + 1;

@@ -11,6 +11,16 @@ type t =
 
 exception Trap of string
 
+(* Loading or storing through an address that was never computed (the
+   instruction producing it was predicated off, or a dead phi operand
+   became undef).  Raised as its own exception — not a generic {!Trap} —
+   so differential-testing oracles can classify "both interpreters
+   trapped on an undef address at the same operation" as agreement
+   instead of parsing trap messages.  [op] is ["load"] or ["store"]. *)
+exception Undef_access of string
+
+let undef_access op = raise (Undef_access op)
+
 let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
 
 let to_int = function

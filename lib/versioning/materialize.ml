@@ -360,6 +360,28 @@ let rec materialize_level (f : Ir.func) (region : Ir.region)
                 compare (index_of_node items a) (index_of_node items b))
               group_nodes
           in
+          (* An eta over a loop versioned in this same group is already
+             handled as that loop's live-out (cloned eta + joining phi
+             below): versioning it again as a plain instruction would
+             produce a second clone still reading the *original* loop,
+             and its [clone_of_value] entry would shadow the correct
+             one during use redirection. *)
+          let group_loops =
+            List.filter_map
+              (function Ir.NL l -> Some l | Ir.NI _ -> None)
+              group_nodes
+          in
+          let ordered =
+            List.filter
+              (fun node ->
+                match node with
+                | Ir.NI v -> (
+                  match (Ir.inst f v).Ir.kind with
+                  | Ir.Eta { loop; _ } -> not (List.mem loop group_loops)
+                  | _ -> true)
+                | Ir.NL _ -> true)
+              ordered
+          in
           List.map
             (fun node ->
               let remap = Hashtbl.create 16 in

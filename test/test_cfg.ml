@@ -85,6 +85,33 @@ let test_equivalence () =
         input_sets)
     kernels_with_inputs
 
+(* Named benchmark kernels the paper leans on, checked differentially:
+   the PSSA interpretation of the *untransformed* kernel must match the
+   CFG interpretation of the fully sv+v-optimized one, on the kernel's
+   own inputs and heap. *)
+module W = Fgv_bench.Workload
+
+let named_kernel_cases =
+  [
+    ("s131", Fgv_bench.Tsvc.kernels);
+    ("floyd-warshall", Fgv_bench.Polybench.kernels);
+    ("lbm_r", Fgv_bench.Specfp.kernels);
+  ]
+
+let test_named_kernel_differential () =
+  List.iter
+    (fun (name, pool) ->
+      let k = List.find (fun k -> k.W.k_name = name) pool in
+      let reference = compile k.W.k_source in
+      let subject = compile k.W.k_source in
+      ignore (Fgv_passes.Pipelines.sv_versioning subject);
+      let mem = float_mem k.W.k_heap k.W.k_init in
+      let a = run_pssa reference ~args:k.W.k_args ~mem in
+      let b = run_cfg subject ~args:k.W.k_args ~mem in
+      if not (cross_equivalent a b) then
+        Alcotest.failf "PSSA/CFG differential failed for %s" name)
+    named_kernel_cases
+
 let test_branch_counter () =
   (* a loop of n iterations must execute at least n conditional branches *)
   let f =
@@ -107,6 +134,8 @@ let test_static_size () =
 let suite =
   [
     Alcotest.test_case "PSSA/CFG equivalence" `Quick test_equivalence;
+    Alcotest.test_case "named kernel differential (s131, floyd-warshall, lbm_r)"
+      `Quick test_named_kernel_differential;
     Alcotest.test_case "branch counter" `Quick test_branch_counter;
     Alcotest.test_case "static size" `Quick test_static_size;
   ]

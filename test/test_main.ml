@@ -12,6 +12,7 @@ let () =
       ("passes", Test_passes.suite);
       ("analysis", Test_analysis.suite);
       ("random", Test_random.suite);
+      ("fuzz", Test_fuzz.suite);
       ("condopt", Test_condopt.suite);
       ("interp", Test_interp.suite);
     ]

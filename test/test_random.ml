@@ -1,212 +1,50 @@
-(* Property tests on randomly generated programs: the versioning
-   framework and every pipeline must preserve observational behaviour
-   (final memory + impure call trace) on arbitrary straight-line /
-   conditional / looping kernels over two possibly-aliasing pointers,
-   evaluated under disjoint, identical, and partially overlapping
-   argument bindings. *)
+(* Property tests on randomly generated programs, now driven by the
+   differential-fuzzing subsystem (lib/fuzz): the versioning framework
+   and every pipeline must preserve observational behaviour (final
+   memory + impure call trace) on seeded structured kernels over 2-4
+   possibly-aliasing pointers, evaluated under the binding generator's
+   disjoint, identical, and partially overlapping layouts.
+
+   QCheck2 supplies iteration counts and seeds; the program grammar,
+   binding layouts and oracles all live in {!Fgv_fuzz}, so these
+   properties and the [fgvc --fuzz] campaigns exercise the exact same
+   machinery. *)
 
 open Fgv_pssa
-open Fgv_frontend
 module V = Fgv_versioning
-module P = Fgv_passes
+module F = Fgv_fuzz
+module G = F.Generator
+module O = F.Oracle
 
-(* ----------------------------------------------------- AST generation *)
+(* A generated case is a pure function of its seed; QCheck2 generates
+   (and shrinks over) seeds.  Programs here are slightly smaller than
+   the campaign default so 800-count properties stay quick. *)
+let base_config = { G.default_config with G.size = 10 }
 
-(* Programs over params (float* p, float* q, int n): a mix of constant-
-   and induction-indexed loads/stores, scalar arithmetic, conditionals
-   (possibly with an impure call), and small counted loops. *)
+let case_of_seed ~restrict seed =
+  let cfg = { (G.vary base_config ~seed) with G.restrict_ptrs = restrict } in
+  (cfg, G.generate ~config:cfg ~seed ())
 
-type genv = { mutable fresh : int; mutable scope : string list }
+let gen_seed = QCheck2.Gen.int_range 0 1_000_000
 
-let gen_program : Ast.fdecl QCheck2.Gen.t =
-  let open QCheck2.Gen in
-  (* the mutable scope environment must be created per generator run
-     (shrinking re-runs the continuation) *)
-  let* () = return () in
-  let ptr = oneofl [ "p"; "q" ] in
-  let idx = int_range 0 7 in
-  let rec gen_expr env depth =
-    if depth <= 0 then
-      oneof
-        ([ map (fun x -> Ast.Efloat (Float.of_int x *. 0.5)) (int_range (-4) 9) ]
-        @ [ map
-              (fun i ->
-                (* the scope snapshot is taken when the closure runs;
-                   guard against emptiness so shrink replays stay total *)
-                match env.scope with
-                | [] -> Ast.Efloat 0.5
-                | sc -> Ast.Evar (List.nth sc (i mod List.length sc)))
-              (int_range 0 20) ]
-        @ [ map2 (fun p i -> Ast.Eindex (p, Ast.Eint i)) ptr idx ])
-    else
-      oneof
-        [
-          gen_expr env 0;
-          map3
-            (fun op a b -> Ast.Ebin (op, a, b))
-            (oneofl [ "+"; "-"; "*" ])
-            (gen_expr env (depth - 1))
-            (gen_expr env (depth - 1));
-          map3
-            (fun c a b ->
-              Ast.Eternary (Ast.Ebin ("<", c, Ast.Efloat 1.0), a, b))
-            (gen_expr env (depth - 1))
-            (gen_expr env (depth - 1))
-            (gen_expr env (depth - 1));
-        ]
-  in
-  let gen_store env =
-    map3
-      (fun p i e -> Ast.Sstore (p, Ast.Eint i, e))
-      ptr idx (gen_expr env 2)
-  in
-  let gen_decl env =
-    let* e = gen_expr env 2 in
-    let name = Printf.sprintf "x%d" env.fresh in
-    env.fresh <- env.fresh + 1;
-    env.scope <- name :: env.scope;
-    return (Ast.Sdecl (Ast.Tfloat, name, e))
-  in
-  let gen_cond_expr env =
-    map2 (fun e x -> Ast.Ebin (">", e, Ast.Efloat x)) (gen_expr env 1)
-      (map Float.of_int (int_range (-2) 2))
-  in
-  let rec gen_stmt env depth =
-    let base =
-      [ (4, gen_store env); (3, gen_decl env) ]
-      @
-      if depth <= 0 then []
-      else
-        [
-          ( 2,
-            let* c = gen_cond_expr env in
-            let saved = env.scope in
-            let* then_ = gen_stmts env (depth - 1) (1 -- 3) in
-            env.scope <- saved;
-            let* else_ =
-              oneof [ return []; gen_stmts env (depth - 1) (1 -- 2) ]
-            in
-            env.scope <- saved;
-            return (Ast.Sif (c, then_, else_)) );
-          ( 1,
-            let* c = gen_cond_expr env in
-            return (Ast.Sif (c, [ Ast.Sexpr (Ast.Ecall ("cold_func", [])) ], []))
-          );
-          ( 1,
-            (* small counted loop with induction-indexed accesses *)
-            let* k = int_range 2 5 in
-            let* p1 = ptr and* p2 = ptr in
-            let* off = int_range 0 2 in
-            let body =
-              [
-                Ast.Sstore
-                  ( p1,
-                    Ast.Ebin ("+", Ast.Evar "li", Ast.Eint off),
-                    Ast.Ebin
-                      ( "+",
-                        Ast.Eindex (p2, Ast.Evar "li"),
-                        Ast.Efloat 1.0 ) );
-              ]
-            in
-            return
-              (Ast.Sfor
-                 ( Ast.Sdecl (Ast.Tint, "li", Ast.Eint 0),
-                   Ast.Ebin ("<", Ast.Evar "li", Ast.Eint k),
-                   Ast.Sassign ("li", Ast.Ebin ("+", Ast.Evar "li", Ast.Eint 1)),
-                   body )) );
-        ]
-    in
-    frequency base
-  and gen_stmts env depth n_gen =
-    let* n = n_gen in
-    let rec go acc k =
-      if k = 0 then return (List.rev acc)
-      else
-        let* s = gen_stmt env depth in
-        go (s :: acc) (k - 1)
-    in
-    go [] n
-  in
-  let env = { fresh = 0; scope = [] } in
-  let* body = gen_stmts env 2 (4 -- 10) in
-  return
-    {
-      Ast.fdname = "rand";
-      fdparams =
-        [
-          { Ast.pname = "p"; pty = Ast.Tptr Ast.Tfloat; prestrict = false };
-          { Ast.pname = "q"; pty = Ast.Tptr Ast.Tfloat; prestrict = false };
-          { Ast.pname = "n"; pty = Ast.Tint; prestrict = false };
-        ];
-      fdbody = body;
-    }
+let print_seed ~restrict seed =
+  let _, fd = case_of_seed ~restrict seed in
+  Printf.sprintf "seed %d:\n%s" seed (G.render fd)
 
-(* ------------------------------------------------------- AST printing *)
+(* A pipeline property: the multi-oracle checker (per-pass verifier,
+   PSSA diff under every layout, CFG lowering diff) finds no mismatch. *)
+let pipeline_prop ?(count = 800) ?(restrict = false) name pipeline =
+  QCheck2.Test.make ~name ~print:(print_seed ~restrict) ~count gen_seed
+    (fun seed ->
+      let cfg, fd = case_of_seed ~restrict seed in
+      match O.check_pipeline ~config:cfg fd pipeline with
+      | None -> true
+      | Some m -> QCheck2.Test.fail_reportf "%s" (O.mismatch_to_string m))
 
-let rec render_expr = function
-  | Ast.Eint n -> string_of_int n
-  | Ast.Efloat x -> Printf.sprintf "%g" x
-  | Ast.Ebool b -> string_of_bool b
-  | Ast.Evar x -> x
-  | Ast.Eindex (p, e) -> Printf.sprintf "%s[%s]" p (render_expr e)
-  | Ast.Ebin (op, a, b) ->
-    Printf.sprintf "(%s %s %s)" (render_expr a) op (render_expr b)
-  | Ast.Eun (op, a) -> Printf.sprintf "%s(%s)" op (render_expr a)
-  | Ast.Eternary (c, a, b) ->
-    Printf.sprintf "(%s ? %s : %s)" (render_expr c) (render_expr a)
-      (render_expr b)
-  | Ast.Ecall (f, args) ->
-    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map render_expr args))
-  | Ast.Ecast (t, e) ->
-    Printf.sprintf "(%s) %s" (Ast.string_of_ty t) (render_expr e)
-
-let rec render_stmt ind s =
-  let pad = String.make ind ' ' in
-  match s with
-  | Ast.Sdecl (t, x, e) ->
-    Printf.sprintf "%s%s %s = %s;" pad (Ast.string_of_ty t) x (render_expr e)
-  | Ast.Sassign (x, e) -> Printf.sprintf "%s%s = %s;" pad x (render_expr e)
-  | Ast.Sstore (p, i, e) ->
-    Printf.sprintf "%s%s[%s] = %s;" pad p (render_expr i) (render_expr e)
-  | Ast.Sexpr e -> Printf.sprintf "%s%s;" pad (render_expr e)
-  | Ast.Sif (c, t, e) ->
-    Printf.sprintf "%sif (%s) {\n%s\n%s}%s" pad (render_expr c)
-      (String.concat "\n" (List.map (render_stmt (ind + 2)) t))
-      pad
-      (if e = [] then ""
-       else
-         Printf.sprintf " else {\n%s\n%s}"
-           (String.concat "\n" (List.map (render_stmt (ind + 2)) e))
-           pad)
-  | Ast.Sfor (init, c, step, body) ->
-    Printf.sprintf "%sfor (%s %s; %s) {\n%s\n%s}" pad
-      (render_stmt 0 init) (render_expr c)
-      (String.trim (render_stmt 0 step))
-      (String.concat "\n" (List.map (render_stmt (ind + 2)) body))
-      pad
-  | Ast.Swhile (c, body) ->
-    Printf.sprintf "%swhile (%s) {\n%s\n%s}" pad (render_expr c)
-      (String.concat "\n" (List.map (render_stmt (ind + 2)) body))
-      pad
-
-let render_fdecl (fd : Ast.fdecl) =
-  Printf.sprintf "kernel %s(...) {\n%s\n}" fd.Ast.fdname
-    (String.concat "\n" (List.map (render_stmt 2) fd.Ast.fdbody))
-
-(* --------------------------------------------------------- evaluation *)
-
-let bindings = [ (0, 16); (0, 0); (0, 3); (5, 2); (0, 13) ]
-
-let mem () = Array.init 32 (fun i -> Value.VFloat (Float.of_int ((i * 11 mod 13) - 6)))
-
-let behaves_identically f g =
-  List.for_all
-    (fun (p, q) ->
-      let args = [ Value.VInt p; Value.VInt q; Value.VInt 8 ] in
-      let a = Interp.run f ~args ~mem:(mem ()) in
-      let b = Interp.run g ~args ~mem:(mem ()) in
-      Interp.equivalent a b)
-    bindings
+(* Property 1: requesting independence of the top-level stores and
+   materializing the plan preserves behaviour.  This transforms the
+   function piecemeal through the versioning API, so it uses the
+   oracle's function-level comparison rather than a whole pipeline. *)
 
 let top_stores (f : Ir.func) =
   List.filter_map
@@ -219,24 +57,12 @@ let top_stores (f : Ir.func) =
       | Ir.L _ -> None)
     f.Ir.fbody
 
-(* Statement-level shrinking can drop a declaration while keeping a use;
-   such programs are rejected by the frontend and are vacuously fine. *)
-let lower_pair fd =
-  match Lower_ast.lower_fdecl fd with
-  | reference -> (
-    match Lower_ast.lower_fdecl fd with
-    | f -> Some (reference, f)
-    | exception Lower_ast.Error _ -> None)
-  | exception Lower_ast.Error _ -> None
-
-(* Property 1: requesting independence of the top-level stores and
-   materializing the plan preserves behaviour. *)
 let prop_versioning_preserves =
   QCheck2.Test.make ~name:"versioning random store groups preserves behaviour"
-    ~print:render_fdecl ~count:400 gen_program (fun fd ->
-      match lower_pair fd with
-      | None -> true
-      | Some (reference, f) ->
+    ~print:(print_seed ~restrict:false) ~count:400 gen_seed (fun seed ->
+      let cfg, fd = case_of_seed ~restrict:false seed in
+      let reference = Fgv_frontend.Lower_ast.lower_fdecl fd in
+      let f = Fgv_frontend.Lower_ast.lower_fdecl fd in
       Verifier.verify reference;
       let stores = top_stores f in
       if List.length stores < 2 then true
@@ -247,110 +73,47 @@ let prop_versioning_preserves =
         | None -> ());
         match Verifier.verify_or_message f with
         | Some msg -> QCheck2.Test.fail_reportf "ill-formed: %s" msg
-        | None -> behaves_identically reference f
+        | None -> (
+          match
+            O.compare_funcs ~config:cfg ~layouts:(G.layouts_for cfg)
+              ~label:"versioning" reference f
+          with
+          | None -> true
+          | Some m -> QCheck2.Test.fail_reportf "%s" (O.mismatch_to_string m))
       end)
 
 (* Property 2: the full pipelines preserve behaviour on random programs. *)
-let pipeline_prop name pipeline =
-  QCheck2.Test.make ~name ~print:render_fdecl ~count:800 gen_program (fun fd ->
-      match lower_pair fd with
-      | None -> true
-      | Some (reference, f) -> (
-        pipeline f;
-        match Verifier.verify_or_message f with
-        | Some msg -> QCheck2.Test.fail_reportf "ill-formed: %s" msg
-        | None -> behaves_identically reference f))
+let prop_o3 = pipeline_prop "o3 pipeline on random programs" "o3"
 
-let prop_o3 = pipeline_prop "o3 pipeline on random programs" (fun f ->
-    ignore (P.Pipelines.o3 f))
+let prop_svv = pipeline_prop "sv+versioning pipeline on random programs" "sv+v"
 
-let prop_svv =
-  pipeline_prop "sv+versioning pipeline on random programs" (fun f ->
-      ignore (P.Pipelines.sv_versioning f))
-
-let prop_rle =
-  pipeline_prop "rle pipeline on random programs" (fun f ->
-      ignore (P.Pipelines.rle_pipeline f))
+let prop_rle = pipeline_prop "rle pipeline on random programs" "rle"
 
 (* Property 2b: behaviour preservation must hold regardless of the
    condition-promotion setting — promotion only widens checks (more
    fallback executions), never changes what either version computes. *)
 let prop_promotion_on =
-  pipeline_prop "sv+versioning with promotion on" (fun f ->
-      ignore (P.Pipelines.sv ~versioning:true ~promotion:true f))
+  pipeline_prop "sv+versioning with promotion on" "sv+v"
 
 let prop_promotion_off =
-  pipeline_prop "sv+versioning with promotion off" (fun f ->
-      ignore (P.Pipelines.sv ~versioning:true ~promotion:false f))
-
-(* ------------------------------------------------- restrict variants *)
+  pipeline_prop "sv+versioning with promotion off" "sv+v-nopromo"
 
 (* The same random programs with [restrict]-qualified pointers.  Binding
    restrict pointers to overlapping regions is undefined behaviour, so
-   these properties evaluate ONLY disjoint bindings — the generator's
-   accesses stay within [base, base+16). *)
-
-let gen_program_restrict : Ast.fdecl QCheck2.Gen.t =
-  QCheck2.Gen.map
-    (fun fd ->
-      {
-        fd with
-        Ast.fdparams =
-          List.map
-            (fun p ->
-              if p.Ast.pty = Ast.Tptr Ast.Tfloat then
-                { p with Ast.prestrict = true }
-              else p)
-            fd.Ast.fdparams;
-      })
-    gen_program
-
-let disjoint_bindings = [ (0, 16); (16, 0) ]
-
-let behaves_identically_disjoint f g =
-  List.for_all
-    (fun (p, q) ->
-      let args = [ Value.VInt p; Value.VInt q; Value.VInt 8 ] in
-      let a = Interp.run f ~args ~mem:(mem ()) in
-      let b = Interp.run g ~args ~mem:(mem ()) in
-      Interp.equivalent a b)
-    disjoint_bindings
-
-let restrict_pipeline_prop name pipeline =
-  QCheck2.Test.make ~name ~print:render_fdecl ~count:400 gen_program_restrict
-    (fun fd ->
-      match lower_pair fd with
-      | None -> true
-      | Some (reference, f) -> (
-        pipeline f;
-        match Verifier.verify_or_message f with
-        | Some msg -> QCheck2.Test.fail_reportf "ill-formed: %s" msg
-        | None -> behaves_identically_disjoint reference f))
-
+   the binding generator evaluates ONLY disjoint layouts for these. *)
 let prop_restrict_svv =
-  restrict_pipeline_prop "sv+versioning on restrict-qualified programs"
-    (fun f -> ignore (P.Pipelines.sv_versioning f))
+  pipeline_prop ~count:400 ~restrict:true
+    "sv+versioning on restrict-qualified programs" "sv+v"
 
 let prop_restrict_rle =
-  restrict_pipeline_prop "rle pipeline on restrict-qualified programs"
-    (fun f -> ignore (P.Pipelines.rle_pipeline f))
+  pipeline_prop ~count:400 ~restrict:true
+    "rle pipeline on restrict-qualified programs" "rle"
 
-(* Property 3: CFG lowering of the optimized program still agrees. *)
+(* Property 3: CFG lowering of the optimized program still agrees.
+   (check_pipeline's third oracle lowers the transformed function to the
+   CFG and diffs it against the PSSA reference under every layout.) *)
 let prop_cfg =
-  QCheck2.Test.make ~name:"CFG lowering of versioned random programs"
-    ~print:render_fdecl ~count:120 gen_program (fun fd ->
-      match lower_pair fd with
-      | None -> true
-      | Some (reference, f) ->
-      ignore (P.Pipelines.sv_versioning f);
-      let prog = Fgv_cfg.Lower.lower f in
-      List.for_all
-        (fun (p, q) ->
-          let args = [ Value.VInt p; Value.VInt q; Value.VInt 8 ] in
-          let a = Interp.run reference ~args ~mem:(mem ()) in
-          let b = Fgv_cfg.Cinterp.run prog ~args ~mem:(mem ()) in
-          Harness.cross_equivalent a b)
-        bindings)
+  pipeline_prop ~count:120 "CFG lowering of versioned random programs" "sv+v"
 
 let suite =
   [
