@@ -10,12 +10,21 @@
      dune exec bench/main.exe -- wallclock            # Bechamel timings only
      dune exec bench/main.exe -- all --json FILE      # also write FILE as
                                                       # machine-readable JSON
+     dune exec bench/main.exe -- all --jobs 8         # 8 worker domains
 
    The JSON document (see README "Benchmark JSON schema") carries the
    per-figure speedup rows plus the telemetry counters the versioning
    framework recorded while producing each figure — plans inferred,
    checks emitted, cut sizes, condition-optimization work — so the perf
-   trajectory can be tracked across commits without scraping tables. *)
+   trajectory can be tracked across commits without scraping tables.
+
+   Parallelism: each figure's kernel rows fan out across a domain pool
+   (--jobs N, default POOL_JOBS or the core count).  Figures themselves
+   run sequentially — that keeps the printed sections ordered and lets
+   Telemetry.capture attribute counters per figure (worker shards merge
+   into the main registry at each join, inside the capture).  Every
+   number in the tables and in the JSON (timings excluded) is identical
+   at any job count; CI diffs --jobs 1 against --jobs 2 to pin that. *)
 
 module E = Fgv_bench.Experiments
 module W = Fgv_bench.Workload
@@ -90,6 +99,10 @@ let wallclock () =
 
 (* ------------------------------------------------------- JSON figures *)
 
+(* Main-domain-only state: figures run sequentially on the main domain;
+   pool workers never touch these. *)
+let jobs = ref 1
+
 let json_figures : (string * Tm.json) list ref = ref []
 
 let add_figure name doc = json_figures := (name, doc) :: !json_figures
@@ -102,7 +115,7 @@ let geomean f rows = Fgv_support.Stats.geomean (List.map f rows)
    table still prints, and the captured counter delta (the framework
    work attributable to this figure alone) lands in the JSON document. *)
 let run_fig19 () =
-  let rows, delta = Tm.capture (fun () -> E.tsvc_rows ()) in
+  let rows, delta = Tm.capture (fun () -> E.tsvc_rows ~jobs:!jobs ()) in
   section "E2 / Fig. 19 (TSVC)" (E.fig19_of_rows rows);
   add_figure "fig19"
     (Tm.Assoc
@@ -156,7 +169,8 @@ let poly_json (rows : E.poly_row list) =
 let run_fig16 () =
   let (off_rows, on_rows), delta =
     Tm.capture (fun () ->
-        (E.polybench_rows ~restrict:false (), E.polybench_rows ~restrict:true ()))
+        ( E.polybench_rows ~jobs:!jobs ~restrict:false (),
+          E.polybench_rows ~jobs:!jobs ~restrict:true () ))
   in
   section "E1 / Fig. 16 (PolyBench)"
     (E.fig16_of_rows ~restrict:false off_rows
@@ -174,7 +188,7 @@ let run_fig16 () =
        ])
 
 let run_fig22 () =
-  let rows, delta = Tm.capture (fun () -> E.rle_rows ()) in
+  let rows, delta = Tm.capture (fun () -> E.rle_rows ~jobs:!jobs ()) in
   section "E5 / Fig. 22 (SPEC FP surrogates, RLE)" (E.fig22_of_rows rows);
   add_figure "fig22"
     (Tm.Assoc
@@ -204,8 +218,9 @@ let write_json file =
   let doc =
     Tm.Assoc
       [
-        ("schema_version", Tm.Int 1);
+        ("schema_version", Tm.Int 2);
         ("suite", Tm.String "fgv-bench");
+        ("jobs", Tm.Int !jobs);
         ("figures", Tm.Assoc (List.rev !json_figures));
         ("telemetry", Tm.snapshot ());
       ]
@@ -221,7 +236,7 @@ let write_json file =
 let usage () =
   Printf.eprintf
     "usage: main.exe [fig16|fig19|fig22|s258|ablation-mincut|ablation-condopt|\
-     wallclock|all]... [--json FILE]\n";
+     wallclock|all]... [--json FILE] [--jobs N]\n";
   exit 1
 
 let () =
@@ -231,14 +246,31 @@ let () =
     | [ "--json" ] ->
       Printf.eprintf "--json requires a file argument\n";
       exit 1
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j > 0 ->
+        jobs := j;
+        parse sel json rest
+      | _ ->
+        Printf.eprintf "--jobs requires a positive integer\n";
+        exit 1)
+    | [ "--jobs" ] ->
+      Printf.eprintf "--jobs requires a positive integer argument\n";
+      exit 1
     | a :: rest -> parse (a :: sel) json rest
   in
+  jobs := Fgv_support.Pool.default_jobs ();
   let sel, json_file = parse [] None (List.tl (Array.to_list Sys.argv)) in
   let sel = if sel = [] then [ "all" ] else sel in
-  let run_s258 () = section "E4 / s258 speculation" (E.s258_speculation ()) in
-  let run_a1 () = section "A1 / min-cut ablation" (E.ablation_mincut ()) in
+  let run_s258 () =
+    section "E4 / s258 speculation" (E.s258_speculation ~jobs:!jobs ())
+  in
+  let run_a1 () =
+    section "A1 / min-cut ablation" (E.ablation_mincut ~jobs:!jobs ())
+  in
   let run_a2 () =
-    section "A2 / condition-optimization ablation" (E.ablation_condopt ())
+    section "A2 / condition-optimization ablation"
+      (E.ablation_condopt ~jobs:!jobs ())
   in
   let run_one = function
     | "fig19" | "tsvc" -> run_fig19 ()

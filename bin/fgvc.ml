@@ -14,6 +14,12 @@
 
      fgvc --fuzz 500 --seed 42
      fgvc --fuzz 200 --pipeline sv+v --fuzz-report report.json
+
+   [--jobs N] fans the campaign's seeds out over N worker domains
+   (default: POOL_JOBS or the machine's core count).  The failure
+   report and the telemetry counters are byte-identical at any job
+   count: the lowest failing seed wins, exactly as in a sequential
+   scan.
 *)
 
 open Cmdliner
@@ -48,7 +54,7 @@ let print_stats stats =
 
 (* ---------------------------------------------------------- fuzz mode *)
 
-let run_fuzz n seed pipeline report_file stats =
+let run_fuzz n seed pipeline report_file stats jobs =
   let pipelines =
     if pipeline = "none" then F.Oracle.pipeline_names
     else if List.mem_assoc pipeline F.Oracle.pipelines then [ pipeline ]
@@ -58,7 +64,10 @@ let run_fuzz n seed pipeline report_file stats =
       exit 2
     end
   in
-  let outcome = F.Campaign.run ~pipelines ~n ~seed () in
+  let jobs =
+    if jobs > 0 then jobs else Fgv_support.Pool.default_jobs ()
+  in
+  let outcome = F.Campaign.run ~pipelines ~jobs ~n ~seed () in
   let report = F.Campaign.report_json outcome in
   let oc = open_out report_file in
   output_string oc (Tm.json_to_string report);
@@ -89,8 +98,8 @@ let run_fuzz n seed pipeline report_file stats =
 (* ------------------------------------------------------- compile mode *)
 
 let run_driver file fuzz seed fuzz_report pipeline dump_ir dump_cfg run args
-    heap no_restrict stats =
-  if fuzz > 0 then run_fuzz fuzz seed pipeline fuzz_report stats
+    heap no_restrict stats jobs =
+  if fuzz > 0 then run_fuzz fuzz seed pipeline fuzz_report stats jobs
   else begin
   let file =
     match file with
@@ -195,6 +204,15 @@ let heap_opt =
 let no_restrict =
   Arg.(value & flag & info [ "no-restrict" ] ~doc:"ignore restrict qualifiers")
 
+let jobs_opt =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "worker domains for --fuzz (0 = auto: $(b,POOL_JOBS) or the \
+           machine's core count); results are byte-identical at any job \
+           count")
+
 let stats_opt =
   Arg.(
     value
@@ -212,6 +230,6 @@ let cmd =
     Term.(
       const run_driver $ file $ fuzz_opt $ seed_opt $ fuzz_report_opt
       $ pipeline $ dump_ir $ dump_cfg $ run_flag $ args_opt $ heap_opt
-      $ no_restrict $ stats_opt)
+      $ no_restrict $ stats_opt $ jobs_opt)
 
 let () = exit (Cmd.eval' cmd)

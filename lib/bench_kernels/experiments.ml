@@ -8,13 +8,23 @@
      hoists, extra GVN deletions, code size);
    - the s258 speculation study (SV-A2);
    - ablations: min-cut vs naive all-conditional-edges cut, and the
-     condition optimizations of SIV-A. *)
+     condition optimizations of SIV-A.
+
+   Row loops take [?jobs] and fan kernels out across a
+   {!Fgv_support.Pool}: each row compiles, optimizes and interprets its
+   kernel under several configurations on a private [Ir.func], so rows
+   are independent and the tables they produce are identical at any job
+   count (the cost model is deterministic; pool results come back in
+   kernel order).  Telemetry recorded by the rows merges back into the
+   caller's registry at the join, so the per-figure counter deltas that
+   [bench/main.exe --json] captures are job-count-independent too. *)
 
 open Fgv_pssa
 module P = Fgv_passes
 module W = Workload
 module Table = Fgv_support.Table
 module Stats = Fgv_support.Stats
+module Pool = Fgv_support.Pool
 
 let pct x = Printf.sprintf "%.1f%%" (x *. 100.0)
 let sp x = Printf.sprintf "%.2fx" x
@@ -28,8 +38,8 @@ type tsvc_row = {
   t_newly_vectorized : bool; (* vector code only with versioning *)
 }
 
-let tsvc_rows ?(check = true) () : tsvc_row list =
-  List.map
+let tsvc_rows ?(check = true) ?(jobs = 1) () : tsvc_row list =
+  Pool.map ~jobs
     (fun k ->
       let base = W.run_config ~with_cfg:false (W.llvm_o3 ()) k in
       let sv = W.run_config ~with_cfg:false (W.sv ()) k in
@@ -66,7 +76,7 @@ let fig19_of_rows (rows : tsvc_row list) : string =
        loops\n"
       newly
 
-let fig19 ?check () : string = fig19_of_rows (tsvc_rows ?check ())
+let fig19 ?check ?jobs () : string = fig19_of_rows (tsvc_rows ?check ?jobs ())
 
 (* ------------------------------------------------------------ Fig. 16 *)
 
@@ -78,8 +88,8 @@ type poly_row = {
   p_newly : bool;
 }
 
-let polybench_rows ?(check = true) ~restrict () : poly_row list =
-  List.map
+let polybench_rows ?(check = true) ?(jobs = 1) ~restrict () : poly_row list =
+  Pool.map ~jobs
     (fun k ->
       let base = W.run_config ~with_cfg:false (W.base_novec ~restrict ()) k in
       let o3 = W.run_config ~with_cfg:false (W.llvm_o3 ~restrict ()) k in
@@ -121,13 +131,13 @@ let fig16_of_rows ~restrict (rows : poly_row list) : string =
     (if restrict then "ON" else "OFF")
   ^ Table.render t
 
-let fig16_one ?check ~restrict () : string =
-  fig16_of_rows ~restrict (polybench_rows ?check ~restrict ())
+let fig16_one ?check ?jobs ~restrict () : string =
+  fig16_of_rows ~restrict (polybench_rows ?check ?jobs ~restrict ())
 
-let fig16 ?check () : string =
-  fig16_one ?check ~restrict:false ()
+let fig16 ?check ?jobs () : string =
+  fig16_one ?check ?jobs ~restrict:false ()
   ^ "\n"
-  ^ fig16_one ?check ~restrict:true ()
+  ^ fig16_one ?check ?jobs ~restrict:true ()
   ^ "paper: restrict OFF geomeans SV+V 1.65x over scalar / 1.50x over -O3;\n\
      restrict ON 1.76x / 1.51x; versioning newly vectorizes correlation,\n\
      covariance, floyd-warshall, lu, ludcmp\n"
@@ -144,8 +154,8 @@ type rle_row = {
   f_size_increase : float;
 }
 
-let rle_rows ?(check = true) () : rle_row list =
-  List.map
+let rle_rows ?(check = true) ?(jobs = 1) () : rle_row list =
+  Pool.map ~jobs
     (fun k ->
       let base =
         W.run_config
@@ -208,7 +218,7 @@ let fig22_of_rows (rows : rle_row list) : string =
      eliminated, 5.5% more branches, 6.4% more LICM hoists, 8.5% more GVN\n\
      deletions, 2.3% code growth\n"
 
-let fig22 ?check () : string = fig22_of_rows (rle_rows ?check ())
+let fig22 ?check ?jobs () : string = fig22_of_rows (rle_rows ?check ?jobs ())
 
 (* ------------------------------------------- s258 speculation (SV-A2) *)
 
@@ -225,7 +235,7 @@ let s258_src params =
   }|}
     params
 
-let s258_speculation () : string =
+let s258_speculation ?(jobs = 1) () : string =
   let len = 64 in
   let mk_kernel ~restrict ~positive_frac name =
     let params =
@@ -253,20 +263,23 @@ let s258_speculation () : string =
     }
   in
   let t = Table.create [ "configuration"; "SV"; "SV+versioning" ] in
-  List.iter
-    (fun (label, restrict, frac) ->
-      let k = mk_kernel ~restrict ~positive_frac:frac label in
-      let base = W.run_config ~with_cfg:false (W.base_novec ~restrict ()) k in
-      let sv = W.run_config ~with_cfg:false (W.sv ~restrict ()) k in
-      let svv = W.run_config ~with_cfg:false (W.sv_versioning ~restrict ()) k in
-      W.check_equivalence k [ W.sv ~restrict (); W.sv_versioning ~restrict () ];
-      Table.add_row t
-        [ label; sp (base.W.r_cost /. sv.W.r_cost); sp (base.W.r_cost /. svv.W.r_cost) ])
-    [
-      ("globals (restrict), 99% positive", true, 0.99);
-      ("globals (restrict), 50% positive", true, 0.5);
-      ("pointer params, 99% positive (2-level versioning)", false, 0.99);
-    ];
+  let rows =
+    Pool.map ~jobs
+      (fun (label, restrict, frac) ->
+        let k = mk_kernel ~restrict ~positive_frac:frac label in
+        let base = W.run_config ~with_cfg:false (W.base_novec ~restrict ()) k in
+        let sv = W.run_config ~with_cfg:false (W.sv ~restrict ()) k in
+        let svv = W.run_config ~with_cfg:false (W.sv_versioning ~restrict ()) k in
+        W.check_equivalence k [ W.sv ~restrict (); W.sv_versioning ~restrict () ];
+        [ label; sp (base.W.r_cost /. sv.W.r_cost);
+          sp (base.W.r_cost /. svv.W.r_cost) ])
+      [
+        ("globals (restrict), 99% positive", true, 0.99);
+        ("globals (restrict), 50% positive", true, 0.5);
+        ("pointer params, 99% positive (2-level versioning)", false, 0.99);
+      ]
+  in
+  List.iter (Table.add_row t) rows;
   "s258 speculation study (speedup over scalar -O3-novec)\n" ^ Table.render t
   ^ "paper: ~2.0x with >99% positive entries; same with arrays as pointer\n\
      parameters, which needs two levels of versioning\n"
@@ -277,12 +290,13 @@ let s258_speculation () : string =
    strategy that checks *every* conditional dependence among the
    requested nodes (what a versioning scheme without the min-cut
    reduction would emit). *)
-let ablation_mincut () : string =
+let ablation_mincut ?(jobs = 1) () : string =
   let open Fgv_analysis in
   let t = Table.create [ "kernel"; "min-cut checks"; "all-cond-edges"; "saved" ] in
   let total_min = ref 0 and total_naive = ref 0 in
-  List.iter
-    (fun (k : W.kernel) ->
+  let kernel_checks =
+    Pool.map ~jobs
+      (fun (k : W.kernel) ->
       let f = Fgv_frontend.Lower_ast.compile_no_restrict k.W.k_source in
       ignore (P.Pipelines.o3_novec f);
       ignore (P.Ifconv.run f);
@@ -341,15 +355,20 @@ let ablation_mincut () : string =
             naive_checks := !naive_checks + !conds
           end)
         (regions f.Ir.fbody [ Ir.Rtop ]);
-      if !naive_checks > 0 then begin
-        total_min := !total_min + !min_checks;
-        total_naive := !total_naive + !naive_checks;
+      (k.W.k_name, !min_checks, !naive_checks))
+      Polybench.kernels
+  in
+  List.iter
+    (fun (name, min_checks, naive_checks) ->
+      if naive_checks > 0 then begin
+        total_min := !total_min + min_checks;
+        total_naive := !total_naive + naive_checks;
         Table.add_row t
-          [ k.W.k_name; string_of_int !min_checks; string_of_int !naive_checks;
+          [ name; string_of_int min_checks; string_of_int naive_checks;
             Printf.sprintf "%.0f%%"
-              (100.0 *. (1.0 -. (float_of_int !min_checks /. float_of_int !naive_checks))) ]
+              (100.0 *. (1.0 -. (float_of_int min_checks /. float_of_int naive_checks))) ]
       end)
-    Polybench.kernels;
+    kernel_checks;
   Table.add_sep t;
   Table.add_row t
     [ "total"; string_of_int !total_min; string_of_int !total_naive;
@@ -361,11 +380,11 @@ let ablation_mincut () : string =
 
 (* A2: condition optimizations on/off — dynamic cost of the versioned
    program with redundant-condition elimination and coalescing disabled. *)
-let ablation_condopt () : string =
+let ablation_condopt ?(jobs = 1) () : string =
   let t = Table.create [ "kernel"; "condopt ON"; "condopt OFF"; "overhead" ] in
-  let ratios = ref [] in
-  List.iter
-    (fun (k : W.kernel) ->
+  let rows =
+    Pool.map ~jobs
+      (fun (k : W.kernel) ->
       let with_opt =
         W.run_config ~with_cfg:false (W.sv_versioning ~restrict:false ()) k
       in
@@ -391,15 +410,17 @@ let ablation_condopt () : string =
           k
       in
       let ratio = without.W.r_cost /. with_opt.W.r_cost in
-      ratios := ratio :: !ratios;
-      Table.add_row t
+      ( ratio,
         [ k.W.k_name;
           Printf.sprintf "%.0f" with_opt.W.r_cost;
           Printf.sprintf "%.0f" without.W.r_cost;
-          Printf.sprintf "%.2fx" ratio ])
-    Polybench.kernels;
+          Printf.sprintf "%.2fx" ratio ] ))
+      Polybench.kernels
+  in
+  List.iter (fun (_, row) -> Table.add_row t row) rows;
   Table.add_sep t;
   Table.add_row t
-    [ "geomean"; ""; ""; Printf.sprintf "%.2fx" (Stats.geomean !ratios) ];
+    [ "geomean"; ""; "";
+      Printf.sprintf "%.2fx" (Stats.geomean (List.map fst rows)) ];
   "Ablation A2 — cost without redundant-condition elimination/coalescing\n"
   ^ Table.render t

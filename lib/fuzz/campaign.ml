@@ -5,9 +5,27 @@
    Per-program seeds are [base_seed + index], and everything the
    generator varies (pointer count, int arrays, restrict) is a function
    of the per-program seed alone, so a reported failure replays with
-   [fgvc --fuzz 1 --seed <that seed>]. *)
+   [fgvc --fuzz 1 --seed <that seed>].
+
+   Parallelism ([~jobs]): seeds fan out across a {!Fgv_support.Pool} of
+   worker domains, but the campaign's observable output is byte-for-byte
+   identical at any job count:
+
+   - the reported failure is the one with the LOWEST index, not the
+     first one found on the wall clock.  A shared lowest-failing-index
+     cell lets in-flight workers skip indices above a known failure,
+     while every index below it is still checked — so the minimum is
+     exact, matching what the sequential scan stops at;
+   - each program is checked under {!Fgv_support.Telemetry.isolated},
+     and only the shards of the sequential prefix [0 .. failing index]
+     (all of them on a clean campaign) are merged back, in index order.
+     Counters such as [fuzz.oracle_runs] therefore match the [--jobs 1]
+     run exactly; work done speculatively past a failure is discarded;
+   - shrinking runs on the calling domain after the workers join, on
+     the same program the sequential campaign would shrink. *)
 
 module Tm = Fgv_support.Telemetry
+module Pool = Fgv_support.Pool
 
 type failure = {
   f_seed : int;  (** per-program seed: the replay handle *)
@@ -44,38 +62,96 @@ let shrink_failure ~config (fd : Fgv_frontend.Ast.fdecl)
   in
   Shrink.shrink ~still_failing fd
 
+let mk_failure ~config ~index ~pseed (fd : Fgv_frontend.Ast.fdecl)
+    (m : Oracle.mismatch) : failure =
+  let shrunk, steps = shrink_failure ~config fd m in
+  {
+    f_seed = pseed;
+    f_index = index;
+    f_mismatch = m;
+    f_program = Generator.render fd;
+    f_shrunk = Generator.render shrunk;
+    f_shrunk_stmts = Shrink.stmt_count_list shrunk.Fgv_frontend.Ast.fdbody;
+    f_shrink_steps = steps;
+  }
+
+(* The original sequential scan: stop at the first mismatch. *)
+let run_sequential ~config ~pipelines ~n ~seed () : outcome =
+  let failure = ref None in
+  let i = ref 0 in
+  while !failure = None && !i < n do
+    let pseed = seed + !i in
+    let cfg = Generator.vary config ~seed:pseed in
+    let fd = Generator.generate ~config:cfg ~seed:pseed () in
+    (match Oracle.check ~pipelines ~config:cfg fd with
+    | None -> ()
+    | Some m -> failure := Some (mk_failure ~config:cfg ~index:!i ~pseed fd m));
+    incr i
+  done;
+  {
+    c_programs = !i;
+    c_seed = seed;
+    c_pipelines = pipelines;
+    c_failure = !failure;
+  }
+
+(* Parallel scan over all indices with an early-exit watermark.  A task
+   bails only when its index is ABOVE the best (lowest) failing index
+   known so far; the watermark only ever decreases, so every index at
+   or below the final minimum is guaranteed to have run — the minimum
+   is exact, not a race winner. *)
+let run_parallel ~config ~pipelines ~jobs ~n ~seed () : outcome =
+  let watermark = Atomic.make max_int in
+  let rec lower_to i =
+    let cur = Atomic.get watermark in
+    if i < cur && not (Atomic.compare_and_set watermark cur i) then lower_to i
+  in
+  let check_one i =
+    if i > Atomic.get watermark then None
+    else begin
+      let pseed = seed + i in
+      let cfg = Generator.vary config ~seed:pseed in
+      let fd = Generator.generate ~config:cfg ~seed:pseed () in
+      let verdict, shard =
+        Tm.isolated (fun () -> Oracle.check ~pipelines ~config:cfg fd)
+      in
+      (match verdict with Some _ -> lower_to i | None -> ());
+      Some (verdict, shard, fd, cfg, pseed)
+    end
+  in
+  let results = Pool.map ~jobs check_one (List.init n Fun.id) in
+  let results = Array.of_list results in
+  let k = Atomic.get watermark in
+  let last = if k = max_int then n - 1 else k in
+  (* replay the sequential prefix's telemetry in index order *)
+  for i = 0 to last do
+    match results.(i) with
+    | Some (_, shard, _, _, _) -> Tm.merge_shard shard
+    | None -> assert false (* i <= watermark: the task cannot have bailed *)
+  done;
+  let failure =
+    if k = max_int then None
+    else
+      match results.(k) with
+      | Some (Some m, _, fd, cfg, pseed) ->
+        Some (mk_failure ~config:cfg ~index:k ~pseed fd m)
+      | _ -> assert false
+  in
+  {
+    c_programs = last + 1;
+    c_seed = seed;
+    c_pipelines = pipelines;
+    c_failure = failure;
+  }
+
 let run ?(config = Generator.default_config)
-    ?(pipelines = Oracle.pipeline_names) ~n ~seed () : outcome =
+    ?(pipelines = Oracle.pipeline_names) ?(jobs = 1) ~n ~seed () : outcome =
   Tm.time "fuzz.campaign" (fun () ->
-      let failure = ref None in
-      let i = ref 0 in
-      while !failure = None && !i < n do
-        let pseed = seed + !i in
-        let cfg = Generator.vary config ~seed:pseed in
-        let fd = Generator.generate ~config:cfg ~seed:pseed () in
-        (match Oracle.check ~pipelines ~config:cfg fd with
-        | None -> ()
-        | Some m ->
-          let shrunk, steps = shrink_failure ~config:cfg fd m in
-          failure :=
-            Some
-              {
-                f_seed = pseed;
-                f_index = !i;
-                f_mismatch = m;
-                f_program = Generator.render fd;
-                f_shrunk = Generator.render shrunk;
-                f_shrunk_stmts = Shrink.stmt_count_list shrunk.Fgv_frontend.Ast.fdbody;
-                f_shrink_steps = steps;
-              });
-        incr i
-      done;
-      {
-        c_programs = !i;
-        c_seed = seed;
-        c_pipelines = pipelines;
-        c_failure = !failure;
-      })
+      if n <= 0 then
+        { c_programs = 0; c_seed = seed; c_pipelines = pipelines;
+          c_failure = None }
+      else if jobs <= 1 then run_sequential ~config ~pipelines ~n ~seed ()
+      else run_parallel ~config ~pipelines ~jobs ~n ~seed ())
 
 (* ------------------------------------------------------------- report *)
 
@@ -103,6 +179,9 @@ let failure_json (f : failure) : Tm.json =
              m.Oracle.mm_pipeline) );
     ]
 
+(* Deliberately contains no [jobs] field and no timings: the report is
+   a function of (n, seed, pipelines, code under test) alone, and CI
+   pins that it is byte-identical across job counts. *)
 let report_json (o : outcome) : Tm.json =
   Tm.Assoc
     [

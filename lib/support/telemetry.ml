@@ -1,4 +1,4 @@
-(* Process-wide telemetry registry.  See the interface for the contract;
+(* Per-domain telemetry registry.  See the interface for the contract;
    the implementation notes here are about the few non-obvious choices:
 
    - counters and timers live in separate hashtables keyed by their
@@ -6,6 +6,13 @@
    - the scope stack is a plain mutable list of prefixes; qualification
      happens at record time, so a counter bumped under two different
      scopes is two distinct registry entries;
+   - the whole registry is domain-local (one shard per domain, allocated
+     on first use through [Domain.DLS]), so recording never takes a
+     lock: a pool worker writes only its own shard, and the shards are
+     folded into the spawning domain's registry when the workers join
+     ({!merge_joined}).  Single-domain programs see exactly the old
+     process-global behaviour, because the main domain's shard *is* the
+     registry;
    - the JSON emitter is hand-rolled (no dependency): the only subtle
      parts are string escaping and float formatting, both below. *)
 
@@ -96,78 +103,109 @@ let json_to_string ?(minify = false) (j : json) : string =
 
 type timer = { mutable total : float; mutable count : int }
 
-let counter_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64
-let timer_tbl : (string, timer) Hashtbl.t = Hashtbl.create 16
-let scope_stack : string list ref = ref [] (* innermost first *)
+type registry = {
+  counter_tbl : (string, int ref) Hashtbl.t;
+  timer_tbl : (string, timer) Hashtbl.t;
+  mutable scope_stack : string list; (* innermost first *)
+}
 
-let qualify name =
-  match !scope_stack with
+let fresh_registry () =
+  {
+    counter_tbl = Hashtbl.create 64;
+    timer_tbl = Hashtbl.create 16;
+    scope_stack = [];
+  }
+
+(* One registry per domain.  The key's initializer runs lazily the first
+   time a domain records anything, so every spawned worker starts with
+   an empty shard and the main domain keeps its registry for the whole
+   process lifetime. *)
+let registry_key : registry Domain.DLS.key =
+  Domain.DLS.new_key fresh_registry
+
+let cur () = Domain.DLS.get registry_key
+
+let qualify reg name =
+  match reg.scope_stack with
   | [] -> name
   | stack -> String.concat "." (List.rev stack) ^ "." ^ name
 
-let counter_ref qname =
-  match Hashtbl.find_opt counter_tbl qname with
+let counter_ref reg qname =
+  match Hashtbl.find_opt reg.counter_tbl qname with
   | Some r -> r
   | None ->
     let r = ref 0 in
-    Hashtbl.replace counter_tbl qname r;
+    Hashtbl.replace reg.counter_tbl qname r;
     r
 
 let incr ?(by = 1) name =
-  let r = counter_ref (qualify name) in
+  let reg = cur () in
+  let r = counter_ref reg (qualify reg name) in
   r := !r + by
 
 let set_max name v =
-  let r = counter_ref (qualify name) in
+  let reg = cur () in
+  let r = counter_ref reg (qualify reg name) in
   if v > !r then r := v
 
-let get name = match Hashtbl.find_opt counter_tbl name with Some r -> !r | None -> 0
+let get name =
+  match Hashtbl.find_opt (cur ()).counter_tbl name with
+  | Some r -> !r
+  | None -> 0
 
 let counters () =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counter_tbl []
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) (cur ()).counter_tbl []
   |> List.sort compare
 
-let timer_cell qname =
-  match Hashtbl.find_opt timer_tbl qname with
+let timer_cell reg qname =
+  match Hashtbl.find_opt reg.timer_tbl qname with
   | Some t -> t
   | None ->
     let t = { total = 0.0; count = 0 } in
-    Hashtbl.replace timer_tbl qname t;
+    Hashtbl.replace reg.timer_tbl qname t;
     t
 
-let record_time qname dt =
-  let t = timer_cell qname in
+let record_time reg qname dt =
+  let t = timer_cell reg qname in
   t.total <- t.total +. dt;
   t.count <- t.count + 1
 
 let time name f =
-  let qname = qualify name in
+  let reg = cur () in
+  let qname = qualify reg name in
   let start = Unix.gettimeofday () in
   match f () with
   | result ->
-    record_time qname (Unix.gettimeofday () -. start);
+    record_time (cur ()) qname (Unix.gettimeofday () -. start);
     result
   | exception e ->
-    record_time qname (Unix.gettimeofday () -. start);
+    record_time (cur ()) qname (Unix.gettimeofday () -. start);
     raise e
 
 let timer_total name =
-  match Hashtbl.find_opt timer_tbl name with Some t -> t.total | None -> 0.0
+  match Hashtbl.find_opt (cur ()).timer_tbl name with
+  | Some t -> t.total
+  | None -> 0.0
 
 let timers () =
-  Hashtbl.fold (fun name t acc -> (name, t.total, t.count) :: acc) timer_tbl []
+  Hashtbl.fold
+    (fun name t acc -> (name, t.total, t.count) :: acc)
+    (cur ()).timer_tbl []
   |> List.sort compare
 
 let with_scope name f =
   (* time under the *enclosing* qualification, then push for the body *)
-  let qname = qualify name in
+  let reg = cur () in
+  let qname = qualify reg name in
   let start = Unix.gettimeofday () in
-  scope_stack := name :: !scope_stack;
+  reg.scope_stack <- name :: reg.scope_stack;
   let finish () =
-    (match !scope_stack with
-    | s :: rest when s == name -> scope_stack := rest
+    (* re-fetch: an [isolated] inside the scope swapped registries *)
+    let reg = cur () in
+    (match reg.scope_stack with
+    | s :: rest when s == name -> reg.scope_stack <- rest
     | _ -> () (* a reset inside the scope cleared the stack: fine *));
-    record_time qname (Unix.gettimeofday () -. start)
+    record_time reg qname (Unix.gettimeofday () -. start)
   in
   match f () with
   | result ->
@@ -178,21 +216,34 @@ let with_scope name f =
     raise e
 
 let reset () =
-  Hashtbl.reset counter_tbl;
-  Hashtbl.reset timer_tbl;
-  scope_stack := []
+  let reg = cur () in
+  Hashtbl.reset reg.counter_tbl;
+  Hashtbl.reset reg.timer_tbl;
+  reg.scope_stack <- []
 
-let snapshot () : json =
+let snapshot_of_registry reg : json =
+  let cs =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) reg.counter_tbl []
+    |> List.sort compare
+  in
+  let ts =
+    Hashtbl.fold
+      (fun name t acc -> (name, t.total, t.count) :: acc)
+      reg.timer_tbl []
+    |> List.sort compare
+  in
   Assoc
     [
-      ("counters", Assoc (List.map (fun (n, v) -> (n, Int v)) (counters ())));
+      ("counters", Assoc (List.map (fun (n, v) -> (n, Int v)) cs));
       ( "timers",
         Assoc
           (List.map
              (fun (n, total, count) ->
                (n, Assoc [ ("total_s", Float total); ("count", Int count) ]))
-             (timers ())) );
+             ts) );
     ]
+
+let snapshot () : json = snapshot_of_registry (cur ())
 
 let capture f =
   let before = counters () in
@@ -207,6 +258,95 @@ let capture f =
       after
   in
   (result, delta)
+
+(* ------------------------------------------------------------- shards *)
+
+(* A shard is an immutable snapshot of a registry: what one task or one
+   pool worker recorded.  Shards cross domains by value, so merging
+   never aliases live hashtables between domains. *)
+type shard = {
+  s_counters : (string * int) list;
+  s_timers : (string * float * int) list;
+}
+
+let shard_of_registry reg : shard =
+  {
+    s_counters =
+      Hashtbl.fold (fun name r acc -> (name, !r) :: acc) reg.counter_tbl []
+      |> List.sort compare;
+    s_timers =
+      Hashtbl.fold
+        (fun name t acc -> (name, t.total, t.count) :: acc)
+        reg.timer_tbl []
+      |> List.sort compare;
+  }
+
+let shard_of_current () = shard_of_registry (cur ())
+
+let empty_shard = { s_counters = []; s_timers = [] }
+
+let shard_is_empty s = s.s_counters = [] && s.s_timers = []
+
+let shard_counters s = s.s_counters
+
+let isolated f =
+  let saved = cur () in
+  Domain.DLS.set registry_key (fresh_registry ());
+  match f () with
+  | result ->
+    let shard = shard_of_current () in
+    Domain.DLS.set registry_key saved;
+    (result, shard)
+  | exception e ->
+    Domain.DLS.set registry_key saved;
+    raise e
+
+let merge_shard (s : shard) =
+  let reg = cur () in
+  List.iter
+    (fun (name, v) ->
+      let r = counter_ref reg name in
+      r := !r + v)
+    s.s_counters;
+  List.iter
+    (fun (name, total, count) ->
+      let t = timer_cell reg name in
+      t.total <- t.total +. total;
+      t.count <- t.count + count)
+    s.s_timers
+
+let merge_joined (shards : shard list) =
+  (* Parallel-join semantics: the shards ran concurrently, so counters
+     sum (work is work) but a timer's contribution to the parent is the
+     *maximum* shard total — the critical path — while invocation
+     counts still sum.  Summing totals across workers would report more
+     seconds than the join took on the wall clock. *)
+  let reg = cur () in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (name, v) ->
+          let r = counter_ref reg name in
+          r := !r + v)
+        s.s_counters)
+    shards;
+  let maxima : (string, float * int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (name, total, count) ->
+          match Hashtbl.find_opt maxima name with
+          | Some (mx, cnt) ->
+            Hashtbl.replace maxima name (Float.max mx total, cnt + count)
+          | None -> Hashtbl.replace maxima name (total, count))
+        s.s_timers)
+    shards;
+  Hashtbl.iter
+    (fun name (mx, count) ->
+      let t = timer_cell reg name in
+      t.total <- t.total +. mx;
+      t.count <- t.count + count)
+    maxima
 
 let report () =
   let buf = Buffer.create 256 in

@@ -1,12 +1,25 @@
 (** Framework telemetry: named counters, wall-clock timers, and
     per-phase scopes, with a hand-rolled JSON emitter.
 
-    The registry is a process-wide singleton: passes and the versioning
+    The registry is a per-domain singleton: passes and the versioning
     framework bump counters unconditionally (increments are a hashtable
     update, cheap next to any analysis they instrument), and entry points
     decide whether to report.  Sessions that need isolated numbers (the
     benchmark harness, golden tests) call {!reset} between runs, or use
-    {!capture} to measure the counter delta of one thunk. *)
+    {!capture} to measure the counter delta of one thunk.
+
+    Concurrency contract: every recording function touches only the
+    calling domain's shard, so no operation here ever takes a lock and
+    parallel tasks never contend.  A single-domain program behaves
+    exactly as if the registry were process-global.  {!Pool} workers
+    accumulate into their own shards and the pool folds them into the
+    spawning domain's registry when the workers join ({!merge_joined}:
+    counters summed, timer totals maxed across workers, timer counts
+    summed), so a {!capture} wrapped around a [Pool.map] still observes
+    every counter the tasks bumped.  For per-task attribution (e.g. the
+    fuzz campaign's deterministic replay of a parallel prefix), wrap the
+    task body in {!isolated} and re-apply the returned shards in any
+    order you like with {!merge_shard}. *)
 
 (** Minimal JSON document tree, sufficient for the telemetry reports and
     the benchmark output. *)
@@ -75,6 +88,44 @@ val capture : (unit -> 'a) -> 'a * (string * int) list
 (** Run the thunk and return the counter *delta* it caused (counters
     whose value changed, sorted by name).  Does not reset the registry;
     nesting captures is fine. *)
+
+(** {1 Shards}
+
+    A shard is an immutable snapshot of one registry — what one task or
+    one pool worker recorded.  Shards are plain data and may safely
+    cross domains. *)
+
+type shard
+
+val empty_shard : shard
+
+val shard_is_empty : shard -> bool
+
+val shard_counters : shard -> (string * int) list
+(** The shard's counters, sorted by fully qualified name. *)
+
+val shard_of_current : unit -> shard
+(** Snapshot the calling domain's registry (without clearing it). *)
+
+val isolated : (unit -> 'a) -> 'a * shard
+(** Run the thunk against a fresh, empty registry and return everything
+    it recorded as a shard; the calling domain's registry is untouched
+    and restored afterwards (also on exceptions, in which case the
+    shard is discarded and the exception re-raised). *)
+
+val merge_shard : shard -> unit
+(** Fold one shard into the calling domain's registry: counters summed,
+    timer totals and counts summed — i.e. as if the shard's work had
+    been recorded here sequentially.  Use this to replay {!isolated}
+    task shards in a deterministic order. *)
+
+val merge_joined : shard list -> unit
+(** Fold the shards of a parallel join into the calling domain's
+    registry: counters summed; for each timer, the *maximum* total
+    across the shards (the critical path of the slowest worker) is
+    added once, while invocation counts sum.  {!Pool.map} calls this
+    with its workers' shards, so timer totals under [--jobs N]
+    approximate wall-clock rather than aggregate CPU time. *)
 
 val report : unit -> string
 (** Human-readable table of counters and timers (for [--stats]). *)
