@@ -29,6 +29,8 @@
 module E = Fgv_bench.Experiments
 module W = Fgv_bench.Workload
 module Tm = Fgv_support.Telemetry
+module Tr = Fgv_support.Trace
+module J = Fgv_support.Json
 open Fgv_pssa
 
 let section title body =
@@ -103,11 +105,13 @@ let wallclock () =
    pool workers never touch these. *)
 let jobs = ref 1
 
-let json_figures : (string * Tm.json) list ref = ref []
+let trace_file : string option ref = ref None
+
+let json_figures : (string * J.t) list ref = ref []
 
 let add_figure name doc = json_figures := (name, doc) :: !json_figures
 
-let counters_json delta = Tm.Assoc (List.map (fun (n, v) -> (n, Tm.Int v)) delta)
+let counters_json delta = J.Assoc (List.map (fun (n, v) -> (n, J.Int v)) delta)
 
 let geomean f rows = Fgv_support.Stats.geomean (List.map f rows)
 
@@ -115,58 +119,60 @@ let geomean f rows = Fgv_support.Stats.geomean (List.map f rows)
    table still prints, and the captured counter delta (the framework
    work attributable to this figure alone) lands in the JSON document. *)
 let run_fig19 () =
+  Tr.with_span ~cat:"figure" "fig19" @@ fun () ->
   let rows, delta = Tm.capture (fun () -> E.tsvc_rows ~jobs:!jobs ()) in
   section "E2 / Fig. 19 (TSVC)" (E.fig19_of_rows rows);
   add_figure "fig19"
-    (Tm.Assoc
+    (J.Assoc
        [
          ( "rows",
-           Tm.List
+           J.List
              (List.map
                 (fun (r : E.tsvc_row) ->
-                  Tm.Assoc
+                  J.Assoc
                     [
-                      ("name", Tm.String r.E.t_name);
-                      ("sv", Tm.Float r.E.t_sv);
-                      ("sv_versioning", Tm.Float r.E.t_svv);
-                      ("newly_vectorized", Tm.Bool r.E.t_newly_vectorized);
+                      ("name", J.String r.E.t_name);
+                      ("sv", J.Float r.E.t_sv);
+                      ("sv_versioning", J.Float r.E.t_svv);
+                      ("newly_vectorized", J.Bool r.E.t_newly_vectorized);
                     ])
                 rows) );
          ( "geomean",
-           Tm.Assoc
+           J.Assoc
              [
-               ("sv", Tm.Float (geomean (fun r -> r.E.t_sv) rows));
-               ("sv_versioning", Tm.Float (geomean (fun r -> r.E.t_svv) rows));
+               ("sv", J.Float (geomean (fun r -> r.E.t_sv) rows));
+               ("sv_versioning", J.Float (geomean (fun r -> r.E.t_svv) rows));
              ] );
          ("counters", counters_json delta);
        ])
 
 let poly_json (rows : E.poly_row list) =
-  Tm.Assoc
+  J.Assoc
     [
       ( "rows",
-        Tm.List
+        J.List
           (List.map
              (fun (r : E.poly_row) ->
-               Tm.Assoc
+               J.Assoc
                  [
-                   ("name", Tm.String r.E.p_name);
-                   ("o3", Tm.Float r.E.p_o3);
-                   ("sv", Tm.Float r.E.p_sv);
-                   ("sv_versioning", Tm.Float r.E.p_svv);
-                   ("newly_vectorized", Tm.Bool r.E.p_newly);
+                   ("name", J.String r.E.p_name);
+                   ("o3", J.Float r.E.p_o3);
+                   ("sv", J.Float r.E.p_sv);
+                   ("sv_versioning", J.Float r.E.p_svv);
+                   ("newly_vectorized", J.Bool r.E.p_newly);
                  ])
              rows) );
       ( "geomean",
-        Tm.Assoc
+        J.Assoc
           [
-            ("o3", Tm.Float (geomean (fun r -> r.E.p_o3) rows));
-            ("sv", Tm.Float (geomean (fun r -> r.E.p_sv) rows));
-            ("sv_versioning", Tm.Float (geomean (fun r -> r.E.p_svv) rows));
+            ("o3", J.Float (geomean (fun r -> r.E.p_o3) rows));
+            ("sv", J.Float (geomean (fun r -> r.E.p_sv) rows));
+            ("sv_versioning", J.Float (geomean (fun r -> r.E.p_svv) rows));
           ] );
     ]
 
 let run_fig16 () =
+  Tr.with_span ~cat:"figure" "fig16" @@ fun () ->
   let (off_rows, on_rows), delta =
     Tm.capture (fun () ->
         ( E.polybench_rows ~jobs:!jobs ~restrict:false (),
@@ -180,7 +186,7 @@ let run_fig16 () =
        restrict ON 1.76x / 1.51x; versioning newly vectorizes correlation,\n\
        covariance, floyd-warshall, lu, ludcmp\n");
   add_figure "fig16"
-    (Tm.Assoc
+    (J.Assoc
        [
          ("restrict_off", poly_json off_rows);
          ("restrict_on", poly_json on_rows);
@@ -188,45 +194,46 @@ let run_fig16 () =
        ])
 
 let run_fig22 () =
+  Tr.with_span ~cat:"figure" "fig22" @@ fun () ->
   let rows, delta = Tm.capture (fun () -> E.rle_rows ~jobs:!jobs ()) in
   section "E5 / Fig. 22 (SPEC FP surrogates, RLE)" (E.fig22_of_rows rows);
   add_figure "fig22"
-    (Tm.Assoc
+    (J.Assoc
        [
          ( "rows",
-           Tm.List
+           J.List
              (List.map
                 (fun (r : E.rle_row) ->
-                  Tm.Assoc
+                  J.Assoc
                     [
-                      ("name", Tm.String r.E.f_name);
-                      ("speedup", Tm.Float r.E.f_speedup);
-                      ("loads_eliminated", Tm.Float r.E.f_loads_eliminated);
-                      ("branches_increase", Tm.Float r.E.f_branches_increase);
-                      ("licm_extra", Tm.Float r.E.f_licm_extra);
-                      ("gvn_extra", Tm.Float r.E.f_gvn_extra);
-                      ("size_increase", Tm.Float r.E.f_size_increase);
+                      ("name", J.String r.E.f_name);
+                      ("speedup", J.Float r.E.f_speedup);
+                      ("loads_eliminated", J.Float r.E.f_loads_eliminated);
+                      ("branches_increase", J.Float r.E.f_branches_increase);
+                      ("licm_extra", J.Float r.E.f_licm_extra);
+                      ("gvn_extra", J.Float r.E.f_gvn_extra);
+                      ("size_increase", J.Float r.E.f_size_increase);
                     ])
                 rows) );
          ( "geomean",
-           Tm.Assoc
-             [ ("speedup", Tm.Float (geomean (fun r -> r.E.f_speedup) rows)) ] );
+           J.Assoc
+             [ ("speedup", J.Float (geomean (fun r -> r.E.f_speedup) rows)) ] );
          ("counters", counters_json delta);
        ])
 
 let write_json file =
   let doc =
-    Tm.Assoc
+    J.Assoc
       [
-        ("schema_version", Tm.Int 2);
-        ("suite", Tm.String "fgv-bench");
-        ("jobs", Tm.Int !jobs);
-        ("figures", Tm.Assoc (List.rev !json_figures));
+        ("schema_version", J.Int 2);
+        ("suite", J.String "fgv-bench");
+        ("jobs", J.Int !jobs);
+        ("figures", J.Assoc (List.rev !json_figures));
         ("telemetry", Tm.snapshot ());
       ]
   in
   let oc = open_out file in
-  output_string oc (Tm.json_to_string doc);
+  output_string oc (J.to_string doc);
   output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s\n%!" file
@@ -236,7 +243,7 @@ let write_json file =
 let usage () =
   Printf.eprintf
     "usage: main.exe [fig16|fig19|fig22|s258|ablation-mincut|ablation-condopt|\
-     wallclock|all]... [--json FILE] [--jobs N]\n";
+     wallclock|all]... [--json FILE] [--jobs N] [--trace FILE]\n";
   exit 1
 
 let () =
@@ -245,6 +252,13 @@ let () =
     | "--json" :: file :: rest -> parse sel (Some file) rest
     | [ "--json" ] ->
       Printf.eprintf "--json requires a file argument\n";
+      exit 1
+    | "--trace" :: file :: rest ->
+      trace_file := Some file;
+      Tr.set_spans true;
+      parse sel json rest
+    | [ "--trace" ] ->
+      Printf.eprintf "--trace requires a file argument\n";
       exit 1
     | "--jobs" :: n :: rest -> (
       match int_of_string_opt n with
@@ -294,4 +308,9 @@ let () =
       usage ()
   in
   List.iter run_one sel;
-  Option.iter write_json json_file
+  Option.iter write_json json_file;
+  Option.iter
+    (fun file ->
+      Tr.write_chrome_trace file;
+      Printf.printf "wrote %s\n%!" file)
+    !trace_file

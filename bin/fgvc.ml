@@ -6,6 +6,13 @@
 
      fgvc kernel.c -p sv+v --dump-ir --run -a 0,64,16 --heap 256
 
+   Observability (see DESIGN.md §11):
+
+     fgvc kernel.c -p sv+v --trace trace.json   # Chrome/Perfetto spans
+     fgvc kernel.c -p sv+v --remarks            # human-readable remarks
+     fgvc kernel.c -p sv+v --remarks=json       # one JSON object per line
+     fgvc kernel.c -p sv+v --dump-ir=DIR        # per-pass IR snapshots+diffs
+
    With [--fuzz N] no input file is needed: the driver runs a
    differential-fuzzing campaign (lib/fuzz) of N generated programs
    through the selected pipeline (default: all of them), writes a
@@ -17,9 +24,9 @@
 
    [--jobs N] fans the campaign's seeds out over N worker domains
    (default: POOL_JOBS or the machine's core count).  The failure
-   report and the telemetry counters are byte-identical at any job
-   count: the lowest failing seed wins, exactly as in a sequential
-   scan.
+   report, the telemetry counters, and the remark stream are
+   byte-identical at any job count: the lowest failing seed wins,
+   exactly as in a sequential scan.
 *)
 
 open Cmdliner
@@ -27,16 +34,25 @@ open Fgv_pssa
 module P = Fgv_passes
 module F = Fgv_fuzz
 module Tm = Fgv_support.Telemetry
+module Tr = Fgv_support.Trace
+module Udiff = Fgv_support.Udiff
 
-let pipelines : (string * (Ir.func -> unit)) list =
+(* Schema versions of every machine-readable output this tool family
+   emits; printed by --version so consumers can pin against them. *)
+let version_string = "fgv 0.4 (bench-json=2 fuzz-report=2 trace=1)"
+
+let pipelines :
+    (string * (?on_pass:(string -> Ir.func -> unit) -> Ir.func -> unit)) list =
   [
-    ("none", fun _ -> ());
-    ("o3-novec", fun f -> ignore (P.Pipelines.o3_novec f));
-    ("o3", fun f -> ignore (P.Pipelines.o3 f));
-    ("sv", fun f -> ignore (P.Pipelines.sv f));
-    ("sv+v", fun f -> ignore (P.Pipelines.sv_versioning f));
-    ("rle", fun f -> ignore (P.Pipelines.rle_pipeline f));
-    ("rle-static", fun f -> ignore (P.Pipelines.rle_pipeline ~versioning:false f));
+    ("none", fun ?on_pass:_ _ -> ());
+    ("o3-novec", fun ?on_pass f -> ignore (P.Pipelines.o3_novec ?on_pass f));
+    ("o3", fun ?on_pass f -> ignore (P.Pipelines.o3 ?on_pass f));
+    ("sv", fun ?on_pass f -> ignore (P.Pipelines.sv ?on_pass f));
+    ("sv+v", fun ?on_pass f -> ignore (P.Pipelines.sv_versioning ?on_pass f));
+    ("rle", fun ?on_pass f -> ignore (P.Pipelines.rle_pipeline ?on_pass f));
+    ( "rle-static",
+      fun ?on_pass f ->
+        ignore (P.Pipelines.rle_pipeline ~versioning:false ?on_pass f) );
   ]
 
 let print_stats stats =
@@ -52,9 +68,56 @@ let print_stats stats =
     Printf.eprintf "unknown --stats format %s (expected text or json)\n" other;
     2
 
+(* ----------------------------------------------------- observability *)
+
+(* Enable span/remark recording per the flags; returns a finalizer that
+   writes the trace file and prints the remark stream. *)
+let setup_observability trace remarks =
+  (match remarks with
+  | None | Some "text" | Some "json" -> ()
+  | Some other ->
+    Printf.eprintf "unknown --remarks format %s (expected text or json)\n"
+      other;
+    exit 2);
+  if trace <> None then Tr.set_spans true;
+  if remarks <> None then Tr.set_remarks true;
+  fun () ->
+    (match remarks with
+    | Some "json" -> print_string (Tr.remarks_jsonl ())
+    | Some _ -> print_string (Tr.remarks_report ())
+    | None -> ());
+    match trace with Some file -> Tr.write_chrome_trace file | None -> ()
+
+(* Per-pass IR snapshots: DIR/000-input.pssa, then NNN-<pass>.pssa and a
+   unified NNN-<pass>.diff for every stage that changed the printed IR. *)
+let snapshot_hook dir (f0 : Ir.func) : string -> Ir.func -> unit =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let write name s =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc s;
+    close_out oc
+  in
+  let prev = ref (Printer.to_string f0) in
+  let prev_name = ref "000-input" in
+  write "000-input.pssa" !prev;
+  let n = ref 0 in
+  fun name f ->
+    incr n;
+    let base = Printf.sprintf "%03d-%s" !n name in
+    let cur = Printer.to_string f in
+    write (base ^ ".pssa") cur;
+    let d =
+      Udiff.unified
+        ~from_label:(!prev_name ^ ".pssa")
+        ~to_label:(base ^ ".pssa") !prev cur
+    in
+    if d <> "" then write (base ^ ".diff") d;
+    prev := cur;
+    prev_name := base
+
 (* ---------------------------------------------------------- fuzz mode *)
 
-let run_fuzz n seed pipeline report_file stats jobs =
+let run_fuzz n seed pipeline report_file stats jobs finalize =
   let pipelines =
     if pipeline = "none" then F.Oracle.pipeline_names
     else if List.mem_assoc pipeline F.Oracle.pipelines then [ pipeline ]
@@ -90,6 +153,7 @@ let run_fuzz n seed pipeline report_file stats jobs =
       (F.Oracle.mismatch_to_string m)
       f.F.Campaign.f_shrunk_stmts f.F.Campaign.f_shrink_steps
       f.F.Campaign.f_shrunk report_file);
+  finalize ();
   let rc = print_stats stats in
   if rc <> 0 then rc
   else if outcome.F.Campaign.c_failure <> None then 4
@@ -98,8 +162,9 @@ let run_fuzz n seed pipeline report_file stats jobs =
 (* ------------------------------------------------------- compile mode *)
 
 let run_driver file fuzz seed fuzz_report pipeline dump_ir dump_cfg run args
-    heap no_restrict stats jobs =
-  if fuzz > 0 then run_fuzz fuzz seed pipeline fuzz_report stats jobs
+    heap no_restrict stats jobs trace remarks =
+  let finalize = setup_observability trace remarks in
+  if fuzz > 0 then run_fuzz fuzz seed pipeline fuzz_report stats jobs finalize
   else begin
   let file =
     match file with
@@ -127,13 +192,18 @@ let run_driver file fuzz seed fuzz_report pipeline dump_ir dump_cfg run args
         (String.concat ", " (List.map fst pipelines));
       exit 2
   in
-  apply f;
+  let on_pass =
+    match dump_ir with
+    | Some dir when dir <> "-" -> Some (snapshot_hook dir f)
+    | _ -> None
+  in
+  apply ?on_pass f;
   (match Verifier.verify_or_message f with
   | None -> ()
   | Some m ->
     Printf.eprintf "internal error: optimized IR is ill-formed: %s\n" m;
     exit 3);
-  if dump_ir then Printer.print f;
+  if dump_ir = Some "-" then Printer.print f;
   if dump_cfg then print_string (Fgv_cfg.Cir.to_string (Fgv_cfg.Lower.lower f));
   if run then begin
     let argv =
@@ -157,6 +227,7 @@ let run_driver file fuzz seed fuzz_report pipeline dump_ir dump_cfg run args
       c.Interp.vector_loads c.Interp.stores c.Interp.vector_stores
       c.Interp.calls c.Interp.iterations
   end;
+  finalize ();
   let rc = print_stats stats in
   if rc <> 0 then exit rc;
   0
@@ -186,7 +257,15 @@ let pipeline =
                rle-static (with --fuzz also sv+v-nopromo; none = fuzz all)")
 
 let dump_ir =
-  Arg.(value & flag & info [ "dump-ir" ] ~doc:"print the predicated SSA")
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "dump-ir" ] ~docv:"DIR"
+        ~doc:
+          "print the final predicated SSA; with $(b,--dump-ir=DIR), instead \
+           write per-pass IR snapshots into $(docv): 000-input.pssa, then \
+           NNN-<pass>.pssa plus a unified NNN-<pass>.diff for every pass \
+           that changed the IR")
 
 let dump_cfg =
   Arg.(value & flag & info [ "dump-cfg" ] ~doc:"print the lowered CFG SSA")
@@ -223,13 +302,58 @@ let stats_opt =
            (plans, checks, cut sizes, condition optimizations, pass work); \
            $(docv) is $(b,text) (default) or $(b,json)")
 
+let trace_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "record hierarchical spans (pipelines, passes, plan inference, \
+           cut, materialization) and write them to $(docv) as a Chrome \
+           trace-event JSON, loadable in Perfetto or chrome://tracing")
+
+let remarks_opt =
+  Arg.(
+    value
+    & opt ~vopt:(Some "text") (some string) None
+    & info [ "remarks" ] ~docv:"FMT"
+        ~doc:
+          "print optimization remarks (versioning decisions, cuts, emitted \
+           checks, condition optimizations, per-pass work) to stdout; \
+           $(docv) is $(b,text) (default) or $(b,json) for one JSON object \
+           per line.  The stream is deterministic: byte-identical at any \
+           --jobs count")
+
 let cmd =
   let doc = "compile and run mini-C kernels with fine-grained program versioning" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "$(tname) compiles a mini-C kernel to predicated SSA, optionally \
+         applies an optimization pipeline built around fine-grained program \
+         versioning, and can print the IR, lower it to a CFG, or interpret \
+         it under a cost model.  With $(b,--fuzz) it instead runs a \
+         differential-fuzzing campaign over generated programs.";
+      `S "OBSERVABILITY";
+      `P
+        "$(b,--trace) FILE writes a Chrome trace-event JSON of the \
+         compilation's span hierarchy.  $(b,--remarks)[=$(b,json)] prints \
+         the optimization-remark stream.  $(b,--dump-ir)=DIR writes \
+         before/after IR snapshots and unified diffs per pass.  \
+         $(b,--stats)[=$(b,json)] prints the telemetry registry.";
+      `S Manpage.s_exit_status;
+      `P "0 on success;";
+      `P "2 on usage errors (unknown pipeline, bad format argument);";
+      `P "3 when the optimized IR fails verification (a compiler bug);";
+      `P "4 when $(b,--fuzz) found a miscompilation.";
+    ]
+  in
   Cmd.v
-    (Cmd.info "fgvc" ~doc)
+    (Cmd.info "fgvc" ~doc ~version:version_string ~man)
     Term.(
       const run_driver $ file $ fuzz_opt $ seed_opt $ fuzz_report_opt
       $ pipeline $ dump_ir $ dump_cfg $ run_flag $ args_opt $ heap_opt
-      $ no_restrict $ stats_opt $ jobs_opt)
+      $ no_restrict $ stats_opt $ jobs_opt $ trace_opt $ remarks_opt)
 
 let () = exit (Cmd.eval' cmd)

@@ -25,6 +25,8 @@
      the same program the sequential campaign would shrink. *)
 
 module Tm = Fgv_support.Telemetry
+module Tr = Fgv_support.Trace
+module J = Fgv_support.Json
 module Pool = Fgv_support.Pool
 
 type failure = {
@@ -35,6 +37,10 @@ type failure = {
   f_shrunk : string;  (** rendered minimal reproducer *)
   f_shrunk_stmts : int;
   f_shrink_steps : int;
+  f_remarks : (Tr.anchor * Tr.remark) list;
+      (** optimization remarks from re-running the failing pipeline on the
+          shrunk reproducer: what the compiler *decided* on the minimal
+          program that still miscompiles *)
 }
 
 type outcome = {
@@ -65,6 +71,21 @@ let shrink_failure ~config (fd : Fgv_frontend.Ast.fdecl)
 let mk_failure ~config ~index ~pseed (fd : Fgv_frontend.Ast.fdecl)
     (m : Oracle.mismatch) : failure =
   let shrunk, steps = shrink_failure ~config fd m in
+  (* Re-run the failing pipeline once on the reproducer with remarks
+     force-enabled: the decision sequence (cuts, checks, versioned nodes,
+     pass work) is the first thing a human wants when triaging.  Telemetry
+     from this extra run is isolated away so report counters stay a
+     function of the campaign alone. *)
+  let (), remarks =
+    Tr.collect_remarks (fun () ->
+        let (), (_ : Tm.shard) =
+          Tm.isolated (fun () ->
+              ignore
+                (Oracle.check ~pipelines:[ m.Oracle.mm_pipeline ] ~config
+                   shrunk))
+        in
+        ())
+  in
   {
     f_seed = pseed;
     f_index = index;
@@ -73,6 +94,7 @@ let mk_failure ~config ~index ~pseed (fd : Fgv_frontend.Ast.fdecl)
     f_shrunk = Generator.render shrunk;
     f_shrunk_stmts = Shrink.stmt_count_list shrunk.Fgv_frontend.Ast.fdbody;
     f_shrink_steps = steps;
+    f_remarks = remarks;
   }
 
 (* The original sequential scan: stop at the first mismatch. *)
@@ -112,11 +134,17 @@ let run_parallel ~config ~pipelines ~jobs ~n ~seed () : outcome =
       let pseed = seed + i in
       let cfg = Generator.vary config ~seed:pseed in
       let fd = Generator.generate ~config:cfg ~seed:pseed () in
-      let verdict, shard =
-        Tm.isolated (fun () -> Oracle.check ~pipelines ~config:cfg fd)
+      (* trace events are isolated per task for the same reason telemetry
+         is: only the sequential prefix's shards are replayed below, in
+         index order, so the remark stream is byte-identical at any job
+         count.  (The pool's own per-task trace isolation then sees an
+         empty buffer and merges nothing.) *)
+      let (verdict, shard), tshard =
+        Tr.isolated (fun () ->
+            Tm.isolated (fun () -> Oracle.check ~pipelines ~config:cfg fd))
       in
       (match verdict with Some _ -> lower_to i | None -> ());
-      Some (verdict, shard, fd, cfg, pseed)
+      Some (verdict, shard, tshard, fd, cfg, pseed)
     end
   in
   let results = Pool.map ~jobs check_one (List.init n Fun.id) in
@@ -126,14 +154,16 @@ let run_parallel ~config ~pipelines ~jobs ~n ~seed () : outcome =
   (* replay the sequential prefix's telemetry in index order *)
   for i = 0 to last do
     match results.(i) with
-    | Some (_, shard, _, _, _) -> Tm.merge_shard shard
+    | Some (_, shard, tshard, _, _, _) ->
+      Tm.merge_shard shard;
+      Tr.merge_shard tshard
     | None -> assert false (* i <= watermark: the task cannot have bailed *)
   done;
   let failure =
     if k = max_int then None
     else
       match results.(k) with
-      | Some (Some m, _, fd, cfg, pseed) ->
+      | Some (Some m, _, _, fd, cfg, pseed) ->
         Some (mk_failure ~config:cfg ~index:k ~pseed fd m)
       | _ -> assert false
   in
@@ -155,26 +185,27 @@ let run ?(config = Generator.default_config)
 
 (* ------------------------------------------------------------- report *)
 
-let failure_json (f : failure) : Tm.json =
+let failure_json (f : failure) : J.t =
   let m = f.f_mismatch in
-  Tm.Assoc
+  J.Assoc
     [
-      ("seed", Tm.Int f.f_seed);
-      ("index", Tm.Int f.f_index);
-      ("pipeline", Tm.String m.Oracle.mm_pipeline);
-      ("kind", Tm.String m.Oracle.mm_kind);
+      ("seed", J.Int f.f_seed);
+      ("index", J.Int f.f_index);
+      ("pipeline", J.String m.Oracle.mm_pipeline);
+      ("kind", J.String m.Oracle.mm_kind);
       ( "pass",
         match m.Oracle.mm_pass with
-        | Some p -> Tm.String p
-        | None -> Tm.Null );
-      ("binding", Tm.List (List.map (fun b -> Tm.Int b) m.Oracle.mm_binding));
-      ("detail", Tm.String m.Oracle.mm_detail);
-      ("program", Tm.String f.f_program);
-      ("shrunk", Tm.String f.f_shrunk);
-      ("shrunk_stmts", Tm.Int f.f_shrunk_stmts);
-      ("shrink_steps", Tm.Int f.f_shrink_steps);
+        | Some p -> J.String p
+        | None -> J.Null );
+      ("binding", J.List (List.map (fun b -> J.Int b) m.Oracle.mm_binding));
+      ("detail", J.String m.Oracle.mm_detail);
+      ("program", J.String f.f_program);
+      ("shrunk", J.String f.f_shrunk);
+      ("shrunk_stmts", J.Int f.f_shrunk_stmts);
+      ("shrink_steps", J.Int f.f_shrink_steps);
+      ("remarks", J.List (List.map Tr.remark_json f.f_remarks));
       ( "reproduce",
-        Tm.String
+        J.String
           (Printf.sprintf "fgvc --fuzz 1 --seed %d --pipeline %s" f.f_seed
              m.Oracle.mm_pipeline) );
     ]
@@ -182,18 +213,18 @@ let failure_json (f : failure) : Tm.json =
 (* Deliberately contains no [jobs] field and no timings: the report is
    a function of (n, seed, pipelines, code under test) alone, and CI
    pins that it is byte-identical across job counts. *)
-let report_json (o : outcome) : Tm.json =
-  Tm.Assoc
+let report_json (o : outcome) : J.t =
+  J.Assoc
     [
-      ("schema_version", Tm.Int 1);
-      ("tool", Tm.String "fgvc --fuzz");
-      ("programs", Tm.Int o.c_programs);
-      ("seed", Tm.Int o.c_seed);
-      ("pipelines", Tm.List (List.map (fun p -> Tm.String p) o.c_pipelines));
-      ("oracle_runs", Tm.Int (Tm.get "fuzz.oracle_runs"));
-      ("mismatches", Tm.Int (Tm.get "fuzz.mismatches"));
+      ("schema_version", J.Int 2);
+      ("tool", J.String "fgvc --fuzz");
+      ("programs", J.Int o.c_programs);
+      ("seed", J.Int o.c_seed);
+      ("pipelines", J.List (List.map (fun p -> J.String p) o.c_pipelines));
+      ("oracle_runs", J.Int (Tm.get "fuzz.oracle_runs"));
+      ("mismatches", J.Int (Tm.get "fuzz.mismatches"));
       ( "failure",
         match o.c_failure with
-        | None -> Tm.Null
+        | None -> J.Null
         | Some f -> failure_json f );
     ]

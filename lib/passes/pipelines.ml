@@ -25,6 +25,7 @@
 
 open Fgv_pssa
 module Tm = Fgv_support.Telemetry
+module Tr = Fgv_support.Trace
 
 type pass_stats = {
   mutable licm_hoisted : int;
@@ -51,55 +52,70 @@ let new_pass_stats () =
 
 (* ------------------------------------------------------------- stages *)
 
-(* A stage is a named unit of pipeline work; observers hook in between. *)
-type stage = string * (unit -> unit)
+(* A stage is a named unit of pipeline work; observers hook in between.
+   The closure returns the work the pass did as labelled counts, which
+   feeds the optimization-remark stream ([Pass_applied]/[Pass_skipped],
+   see trace.mli). *)
+type stage = string * (unit -> (string * int) list)
 
 let run_stages ?on_pass (f : Ir.func) (stages : stage list) : unit =
   List.iter
     (fun (name, run) ->
-      run ();
+      let work = Tr.with_span ~cat:"pass" name run in
+      if Tr.remarks_on () then begin
+        let a = Tr.anchor f.Ir.fname in
+        match List.filter (fun (_, n) -> n > 0) work with
+        | [] ->
+          Tr.remark a (Tr.Pass_skipped { pass = name; reason = "no opportunities" })
+        | done_ -> Tr.remark a (Tr.Pass_applied { pass = name; work = done_ })
+      end;
       match on_pass with Some h -> h name f | None -> ())
     stages
 
-let st_constfold f : stage = ("constfold", fun () -> ignore (Constfold.run f))
+let st_constfold f : stage =
+  ("constfold", fun () -> [ ("folded", Constfold.run f) ])
 
 let st_dce f stats : stage =
   ( "dce",
     fun () ->
       let n = Dce.run f in
       stats.dce_removed <- stats.dce_removed + n;
-      Tm.incr ~by:n "pass.dce.removed" )
+      Tm.incr ~by:n "pass.dce.removed";
+      [ ("removed", n) ] )
 
 let st_gvn f stats : stage =
   ( "gvn",
     fun () ->
       let g = Gvn.run f in
       stats.gvn_deleted <- stats.gvn_deleted + g;
-      Tm.incr ~by:g "pass.gvn.deleted" )
+      Tm.incr ~by:g "pass.gvn.deleted";
+      [ ("deleted", g) ] )
 
 let st_licm f stats : stage =
   ( "licm",
     fun () ->
       let h = Licm.run f in
       stats.licm_hoisted <- stats.licm_hoisted + h;
-      Tm.incr ~by:h "pass.licm.hoisted" )
+      Tm.incr ~by:h "pass.licm.hoisted";
+      [ ("hoisted", h) ] )
 
 let cleanup_stages f stats = [ st_constfold f; st_dce f stats ]
 
 let scalar_stages f stats =
   [ st_constfold f; st_gvn f stats; st_licm f stats ] @ cleanup_stages f stats
 
-let st_ifconv f : stage = ("ifconv", fun () -> ignore (Ifconv.run f))
+let st_ifconv f : stage = ("ifconv", fun () -> [ ("converted", Ifconv.run f) ])
 
 let st_loopvec ~vl f stats : stage =
   ( "loopvec",
     fun () ->
       let ls = Loopvec.run ~vl f in
       stats.loops_vectorized <- ls.Loopvec.loops_vectorized;
-      Tm.incr ~by:ls.Loopvec.loops_vectorized "pass.loopvec.loops" )
+      Tm.incr ~by:ls.Loopvec.loops_vectorized "pass.loopvec.loops";
+      [ ("loops", ls.Loopvec.loops_vectorized) ] )
 
 let st_unroll ~factor f : stage =
-  ("unroll", fun () -> ignore (Unroll.run ~factor f))
+  ("unroll", fun () -> [ ("unrolled", Unroll.run ~factor f) ])
 
 let st_slp ~config f stats : stage =
   ( "slp",
@@ -108,7 +124,8 @@ let st_slp ~config f stats : stage =
       stats.slp_vectors <- n;
       stats.slp_plans <- slp_stats.Slp.plans_used;
       Tm.incr ~by:n "pass.slp.vectors";
-      Tm.incr ~by:slp_stats.Slp.plans_used "pass.slp.plans" )
+      Tm.incr ~by:slp_stats.Slp.plans_used "pass.slp.plans";
+      [ ("vectors", n); ("plans", slp_stats.Slp.plans_used) ] )
 
 let st_rle ~versioning f stats : stage =
   ( "rle",
@@ -117,7 +134,8 @@ let st_rle ~versioning f stats : stage =
       stats.rle_eliminated <- rs.Rle.loads_eliminated;
       stats.rle_groups <- rs.Rle.groups_found;
       Tm.incr ~by:rs.Rle.loads_eliminated "pass.rle.eliminated";
-      Tm.incr ~by:rs.Rle.groups_found "pass.rle.groups" )
+      Tm.incr ~by:rs.Rle.groups_found "pass.rle.groups";
+      [ ("eliminated", rs.Rle.loads_eliminated); ("groups", rs.Rle.groups_found) ] )
 
 (* The scalar sub-pipeline as a plain function, for harness code that
    composes custom configurations (e.g. the condopt ablation). *)
@@ -127,12 +145,14 @@ let scalar_passes ?on_pass f stats = run_stages ?on_pass f (scalar_stages f stat
 
 let o3_novec ?on_pass (f : Ir.func) : pass_stats =
   Tm.time "pipeline.o3_novec" (fun () ->
+      Tr.with_span ~cat:"pipeline" "o3_novec" @@ fun () ->
       let stats = new_pass_stats () in
       run_stages ?on_pass f (scalar_stages f stats);
       stats)
 
 let o3 ?(vl = 4) ?on_pass (f : Ir.func) : pass_stats =
   Tm.time "pipeline.o3" (fun () ->
+      Tr.with_span ~cat:"pipeline" "o3" @@ fun () ->
       let stats = new_pass_stats () in
       run_stages ?on_pass f
         (scalar_stages f stats
@@ -144,6 +164,9 @@ let sv ?(vl = 4) ?(versioning = false) ?(promotion = false) ?on_pass
     (f : Ir.func) : pass_stats =
   Tm.time (if versioning then "pipeline.sv_versioning" else "pipeline.sv")
     (fun () ->
+      Tr.with_span ~cat:"pipeline"
+        (if versioning then "sv_versioning" else "sv")
+      @@ fun () ->
       let stats = new_pass_stats () in
       let config =
         if versioning then
@@ -178,6 +201,7 @@ let sv_versioning ?(vl = 4) ?(promotion = true) ?on_pass f =
    work they do after RLE). *)
 let rle_pipeline ?(versioning = true) ?on_pass (f : Ir.func) : pass_stats =
   Tm.time "pipeline.rle" (fun () ->
+      Tr.with_span ~cat:"pipeline" "rle" @@ fun () ->
       let pre = new_pass_stats () in
       run_stages ?on_pass f (scalar_stages f pre);
       (* reset: the paper's counters are about the passes running after RLE *)
@@ -191,6 +215,7 @@ let rle_pipeline ?(versioning = true) ?on_pass (f : Ir.func) : pass_stats =
 (* The baseline for Fig. 22: the same downstream passes, no RLE. *)
 let rle_baseline ?on_pass (f : Ir.func) : pass_stats =
   Tm.time "pipeline.rle_baseline" (fun () ->
+      Tr.with_span ~cat:"pipeline" "rle_baseline" @@ fun () ->
       let pre = new_pass_stats () in
       run_stages ?on_pass f (scalar_stages f pre);
       let stats = new_pass_stats () in

@@ -1,0 +1,83 @@
+(* The shared hand-rolled JSON emitter (no dependency): the only subtle
+   parts are string escaping and float formatting, both below. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* JSON has no NaN/Infinity; also "%.17g" can print "1e+3" style
+   exponents, which are fine, but never a leading '.' or trailing '.'
+   without digits — normalize "1." to "1.0". *)
+let float_repr x =
+  if Float.is_nan x then "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.1f" x
+  else if x = Float.infinity then "1e999"
+  else if x = Float.neg_infinity then "-1e999"
+  else Printf.sprintf "%.17g" x
+
+let to_string ?(minify = false) (j : t) : string =
+  let buf = Buffer.create 256 in
+  let pad depth = if not minify then Buffer.add_string buf (String.make (2 * depth) ' ') in
+  let nl () = if not minify then Buffer.add_char buf '\n' in
+  let rec go depth j =
+    match j with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Float x -> Buffer.add_string buf (float_repr x)
+    | String s -> Buffer.add_string buf (escape_string s)
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+      Buffer.add_char buf '[';
+      nl ();
+      List.iteri
+        (fun k item ->
+          if k > 0 then begin Buffer.add_char buf ','; nl () end;
+          pad (depth + 1);
+          go (depth + 1) item)
+        items;
+      nl ();
+      pad depth;
+      Buffer.add_char buf ']'
+    | Assoc [] -> Buffer.add_string buf "{}"
+    | Assoc fields ->
+      Buffer.add_char buf '{';
+      nl ();
+      List.iteri
+        (fun k (key, v) ->
+          if k > 0 then begin Buffer.add_char buf ','; nl () end;
+          pad (depth + 1);
+          Buffer.add_string buf (escape_string key);
+          Buffer.add_string buf (if minify then ":" else ": ");
+          go (depth + 1) v)
+        fields;
+      nl ();
+      pad depth;
+      Buffer.add_char buf '}'
+  in
+  go 0 j;
+  Buffer.contents buf

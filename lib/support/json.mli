@@ -1,0 +1,30 @@
+(** Minimal JSON document tree and emitter, shared by every subsystem
+    that writes machine-readable output: telemetry snapshots, the bench
+    harness's figure documents, the fuzz campaign's failure reports, and
+    the trace/remark streams.
+
+    One emitter means one set of escaping and float-formatting rules —
+    extracted from {!Telemetry}, where three near-copies used to live —
+    and one strict test-side parser ([test/harness.ml]) exercises them
+    all. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+val to_string : ?minify:bool -> t -> string
+(** Serialize with proper string escaping.  [minify:false] (default)
+    pretty-prints with two-space indentation; floats are emitted in a
+    form every JSON parser accepts (no [nan]/[inf], no bare [.5]). *)
+
+val escape_string : string -> string
+(** ["…"]-quoted JSON string literal with control characters escaped. *)
+
+val float_repr : float -> string
+(** The float formatting [to_string] uses: integral floats as ["3.0"],
+    NaN as ["null"], infinities as out-of-range exponents. *)

@@ -14,7 +14,14 @@
    cell is written by exactly one worker, so the output order never
    depends on the schedule.  Telemetry determinism is the shards'
    problem (see telemetry.mli); the pool's only job is to hand every
-   worker's shard to [Telemetry.merge_joined] at join. *)
+   worker's shard to [Telemetry.merge_joined] at join.
+
+   Tracing: when {!Trace.active} (spans or remarks enabled), each TASK
+   runs under [Trace.isolated] and the per-task shards are replayed in
+   input index order at the join — per task, not per worker, because
+   work stealing makes the worker→index assignment schedule-dependent
+   while the index order is not.  The remark stream is therefore
+   byte-identical at any job count; span timestamps stay wall-clock. *)
 
 exception Nested_map
 
@@ -63,25 +70,35 @@ let steal_back (s : slice) =
 
 (* ---------------------------------------------------------------- map *)
 
-let run_task f (tasks : 'a array) (results : ('b, exn) result option array) i =
-  let r = match f tasks.(i) with v -> Ok v | exception e -> Error e in
-  (* each index is written by exactly one worker: no lock needed *)
-  results.(i) <- Some r
+let run_task f (tasks : 'a array) (results : ('b, exn) result option array)
+    (trace_shards : Trace.shard array) i =
+  if Trace.active () then begin
+    let r, shard =
+      Trace.isolated (fun () ->
+          match f tasks.(i) with v -> Ok v | exception e -> Error e)
+    in
+    (* each index is written by exactly one worker: no lock needed *)
+    results.(i) <- Some r;
+    trace_shards.(i) <- shard
+  end
+  else
+    results.(i) <-
+      Some (match f tasks.(i) with v -> Ok v | exception e -> Error e)
 
-let worker f tasks results (slices : slice array) (w : int) () =
+let worker f tasks results trace_shards (slices : slice array) (w : int) () =
   Domain.DLS.set in_task_key true;
   let jobs = Array.length slices in
   let rec own () =
     match take_front slices.(w) with
     | Some i ->
-      run_task f tasks results i;
+      run_task f tasks results trace_shards i;
       own ()
     | None -> steal 1
   and steal k =
     if k < jobs then
       match steal_back slices.((w + k) mod jobs) with
       | Some i ->
-        run_task f tasks results i;
+        run_task f tasks results trace_shards i;
         own () (* the victim may still be full; re-prefer our slice *)
       | None -> steal (k + 1)
   in
@@ -117,16 +134,19 @@ let try_map ?jobs (f : 'a -> 'b) (xs : 'a list) : ('b, exn) result list =
   end
   else begin
     let results : ('b, exn) result option array = Array.make n None in
+    let trace_shards = Array.make n Trace.empty_shard in
     let slices =
       Array.init jobs (fun w ->
           { lock = Mutex.create (); lo = w * n / jobs; hi = (w + 1) * n / jobs })
     in
     let domains =
       Array.init jobs (fun w ->
-          Domain.spawn (worker f tasks results slices w))
+          Domain.spawn (worker f tasks results trace_shards slices w))
     in
     let shards = Array.to_list (Array.map Domain.join domains) in
     Telemetry.merge_joined shards;
+    (* trace events replay in input order: deterministic remark stream *)
+    Array.iter Trace.merge_shard trace_shards;
     collect n results
   end
 

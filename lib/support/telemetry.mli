@@ -1,5 +1,5 @@
 (** Framework telemetry: named counters, wall-clock timers, and
-    per-phase scopes, with a hand-rolled JSON emitter.
+    per-phase scopes.
 
     The registry is a per-domain singleton: passes and the versioning
     framework bump counters unconditionally (increments are a hashtable
@@ -21,9 +21,10 @@
     task body in {!isolated} and re-apply the returned shards in any
     order you like with {!merge_shard}. *)
 
-(** Minimal JSON document tree, sufficient for the telemetry reports and
-    the benchmark output. *)
-type json =
+(** Deprecated alias for {!Json.t}, re-exported with constructors so
+    existing [Telemetry.Assoc]-style call sites keep compiling.  New
+    code should use {!Json} directly. *)
+type json = Json.t =
   | Null
   | Bool of bool
   | Int of int
@@ -33,9 +34,7 @@ type json =
   | Assoc of (string * json) list
 
 val json_to_string : ?minify:bool -> json -> string
-(** Serialize with proper string escaping.  [minify:false] (default)
-    pretty-prints with two-space indentation; floats are emitted in a
-    form every JSON parser accepts (no [nan]/[inf], no bare [.5]). *)
+(** Deprecated alias for {!Json.to_string}. *)
 
 (** {1 Counters} *)
 

@@ -1,0 +1,103 @@
+(* Unified diff over lines via a longest-common-subsequence DP.  See the
+   interface; sizing note: IR dumps are at most a few hundred lines, so
+   the O(n*m) table is microseconds and keeps the code dependency-free. *)
+
+type op = Keep of string | Del of string | Add of string
+
+let split_lines s =
+  match String.split_on_char '\n' s with
+  | [ "" ] -> [||]
+  | parts ->
+    (* a trailing newline produces a final empty element that is not a
+       line of its own *)
+    let parts =
+      match List.rev parts with
+      | "" :: rest -> List.rev rest
+      | _ -> parts
+    in
+    Array.of_list parts
+
+let ops_of (a : string array) (b : string array) : op list =
+  let n = Array.length a and m = Array.length b in
+  (* lcs.(i).(j) = LCS length of a[i..] and b[j..] *)
+  let lcs = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = n - 1 downto 0 do
+    for j = m - 1 downto 0 do
+      lcs.(i).(j) <-
+        (if a.(i) = b.(j) then 1 + lcs.(i + 1).(j + 1)
+         else max lcs.(i + 1).(j) lcs.(i).(j + 1))
+    done
+  done;
+  (* on ties prefer the deletion so removed lines print before added
+     ones, as conventional diffs do *)
+  let rec walk i j acc =
+    if i < n && j < m && a.(i) = b.(j) then walk (i + 1) (j + 1) (Keep a.(i) :: acc)
+    else if i < n && (j = m || lcs.(i + 1).(j) >= lcs.(i).(j + 1)) then
+      walk (i + 1) j (Del a.(i) :: acc)
+    else if j < m then walk i (j + 1) (Add b.(j) :: acc)
+    else List.rev acc
+  in
+  walk 0 0 []
+
+let unified ?(context = 3) ?(from_label = "before") ?(to_label = "after")
+    (before : string) (after : string) : string =
+  if before = after then ""
+  else begin
+    let ops = Array.of_list (ops_of (split_lines before) (split_lines after)) in
+    let len = Array.length ops in
+    let is_change = function Keep _ -> false | Del _ | Add _ -> true in
+    (* group change positions into hunks no farther than 2*context apart *)
+    let groups =
+      let acc = ref [] and cur = ref None in
+      Array.iteri
+        (fun k op ->
+          if is_change op then
+            match !cur with
+            | Some (first, last) when k - last <= 2 * context ->
+              cur := Some (first, k)
+            | Some g ->
+              acc := g :: !acc;
+              cur := Some (k, k)
+            | None -> cur := Some (k, k))
+        ops;
+      (match !cur with Some g -> acc := g :: !acc | None -> ());
+      List.rev !acc
+    in
+    (* 1-based line number of the a/b line at op position k (i.e. lines
+       consumed before it, plus one) *)
+    let a_before = Array.make (len + 1) 0 and b_before = Array.make (len + 1) 0 in
+    Array.iteri
+      (fun k op ->
+        let da, db =
+          match op with Keep _ -> (1, 1) | Del _ -> (1, 0) | Add _ -> (0, 1)
+        in
+        a_before.(k + 1) <- a_before.(k) + da;
+        b_before.(k + 1) <- b_before.(k) + db)
+      ops;
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (Printf.sprintf "--- %s\n+++ %s\n" from_label to_label);
+    List.iter
+      (fun (first, last) ->
+        let start = max 0 (first - context) in
+        let stop = min (len - 1) (last + context) in
+        let a_count = a_before.(stop + 1) - a_before.(start) in
+        let b_count = b_before.(stop + 1) - b_before.(start) in
+        (* the conventional empty-range header uses the preceding line *)
+        let a_start = if a_count = 0 then a_before.(start) else a_before.(start) + 1 in
+        let b_start = if b_count = 0 then b_before.(start) else b_before.(start) + 1 in
+        Buffer.add_string buf
+          (Printf.sprintf "@@ -%d,%d +%d,%d @@\n" a_start a_count b_start b_count);
+        for k = start to stop do
+          let prefix, line =
+            match ops.(k) with
+            | Keep l -> (' ', l)
+            | Del l -> ('-', l)
+            | Add l -> ('+', l)
+          in
+          Buffer.add_char buf prefix;
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n'
+        done)
+      groups;
+    Buffer.contents buf
+  end

@@ -1,0 +1,21 @@
+(** Line-based unified diffs, for the per-pass IR snapshots of
+    [fgvc --dump-ir]: each pass's before/after printer output is diffed
+    so a miscompile hunt starts from "what did this pass change" rather
+    than two full dumps.
+
+    The implementation is a plain LCS over lines — quadratic, which is
+    fine for IR dumps of kernel-sized functions — with standard
+    [@@ -l,n +l,n @@] hunk headers and [context] lines of surrounding
+    context. *)
+
+val unified :
+  ?context:int ->
+  ?from_label:string ->
+  ?to_label:string ->
+  string ->
+  string ->
+  string
+(** [unified before after] is the unified diff between the two texts
+    (split on ['\n']), or [""] when they are equal.  [context] defaults
+    to 3; the labels default to ["before"]/["after"] and appear on the
+    [---]/[+++] header lines. *)

@@ -5,6 +5,7 @@
 open Fgv_pssa
 open Fgv_analysis
 module Tm = Fgv_support.Telemetry
+module Tr = Fgv_support.Trace
 
 (* Constant offset between two ranges, defined only when the lower and
    upper bounds shift by the same amount. *)
@@ -99,6 +100,13 @@ let coalesce atoms =
    the deepest prefix of the enclosing loops (innermost first) for which
    all induction variables are affine with known extents.  Promoting out
    of even one loop lets LICM hoist and amortize the check. *)
+(* Remark anchor for condition work: the function and the innermost
+   enclosing loop (what promotion widens out of). *)
+let cond_anchor scev ~(enclosing : Ir.loop_id list) =
+  Tr.anchor
+    ?loop:(match enclosing with l :: _ -> Some l | [] -> None)
+    scev.Scev.func.Ir.fname
+
 let promote_best_effort scev ~(enclosing : Ir.loop_id list) atoms =
   let f = scev.Scev.func in
   let rec take n l =
@@ -152,12 +160,15 @@ let promote_best_effort scev ~(enclosing : Ir.loop_id list) atoms =
         (match first candidates with
         | None ->
           Tm.incr "condopt.promote_failed";
+          Tr.remark (cond_anchor scev ~enclosing) Tr.Promotion_failed;
           atom
         | Some promoted ->
           (* unchanged ranges mean the check was already invariant in
              every promoted loop: precise promotion (no widening) *)
-          if promoted = atom then Tm.incr "condopt.promoted_precise"
+          let precise = promoted = atom in
+          if precise then Tm.incr "condopt.promoted_precise"
           else Tm.incr "condopt.promoted_imprecise";
+          Tr.remark (cond_anchor scev ~enclosing) (Tr.Cond_promoted { precise });
           promoted))
     atoms
 

@@ -16,7 +16,18 @@
    an unconditional dependence: versioning is infeasible. *)
 
 open Fgv_analysis
+module Ir = Fgv_pssa.Ir
 module Tm = Fgv_support.Telemetry
+module Tr = Fgv_support.Trace
+
+(* Remark anchor for a cut query: the region's function and loop. *)
+let cut_anchor (g : Depgraph.t) =
+  let ctx = g.Depgraph.g_ctx in
+  Tr.anchor
+    ?loop:(match ctx.Depcond.cregion with
+          | Ir.Rloop l -> Some l
+          | Ir.Rtop -> None)
+    ctx.Depcond.cf.Ir.fname
 
 type result = {
   cut_edges : Depgraph.edge list; (* conditional edges to sever *)
@@ -33,6 +44,7 @@ let already_independent = { cut_edges = []; source_nodes = [] }
    paragraph); the default weight 1 minimizes the number of checks. *)
 let find ?(weight = fun (_ : Depgraph.edge) -> 1) (g : Depgraph.t)
     ~(excluded : int -> bool) ~(s : int list) ~(t : int list) : result option =
+  Tr.with_span ~cat:"versioning" "cut.find" @@ fun () ->
   let succ = Depgraph.dependence_succ g ~excluded in
   let n_nodes = Array.length g.Depgraph.nodes in
   (* 1. discover the subgraph reachable from S *)
@@ -105,6 +117,7 @@ let find ?(weight = fun (_ : Depgraph.edge) -> 1) (g : Depgraph.t)
        be severed, so versioning is infeasible *)
     if flow > total_weight then begin
       Tm.incr "cut.infeasible";
+      Tr.remark (cut_anchor g) (Tr.Cut_infeasible { flow });
       None
     end
     else begin
@@ -144,6 +157,8 @@ let find ?(weight = fun (_ : Depgraph.edge) -> 1) (g : Depgraph.t)
           (List.init n_nodes (fun k -> k))
       in
       Tm.incr ~by:(List.length cut_edges) "cut.edges";
+      Tr.remark (cut_anchor g)
+        (Tr.Cut_found { edges = List.length cut_edges; capacity = flow });
       Some { cut_edges; source_nodes }
     end
   end

@@ -34,6 +34,22 @@
 open Fgv_pssa
 open Fgv_analysis
 module Tm = Fgv_support.Telemetry
+module Tr = Fgv_support.Trace
+
+(* Remark anchor for materialization: the region's function and loop. *)
+let mat_anchor (f : Ir.func) (region : Ir.region) =
+  Tr.anchor
+    ?loop:(match region with Ir.Rloop l -> Some l | Ir.Rtop -> None)
+    f.Ir.fname
+
+(* Versioning phis created on this domain; [run] snapshots it around
+   each plan tree to report per-plan phi counts.  Domain-local so that
+   concurrent materializations on other domains cannot bleed into the
+   delta (which would make the remark stream schedule-dependent). *)
+let phis_created_key : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref 0)
+
+let phis_created () = Domain.DLS.get phis_created_key
 
 exception Error of string
 
@@ -343,6 +359,12 @@ let rec materialize_level (f : Ir.func) (region : Ir.region)
         Tm.incr "materialize.checks_emitted";
         Tm.incr ~by:(List.length checked_atoms) "materialize.checked_atoms";
         Tm.incr ~by:(Hashtbl.length remap) "materialize.check_chain_cloned";
+        Tr.remark (mat_anchor f region)
+          (Tr.Check_emitted
+             {
+               atoms = List.length checked_atoms;
+               cloned = Hashtbl.length remap;
+             });
         Hashtbl.replace chk_of_group conds chk;
         let items' = insert_before_index items insert_pos (emitted em) in
         Ir.set_region_items f region items')
@@ -419,6 +441,7 @@ let rec materialize_level (f : Ir.func) (region : Ir.region)
                         ~ty:oi.ty ~pred:base_pred
                     in
                     Tm.incr "materialize.versioning_phis";
+                    incr (phis_created ());
                     Some p.id
                   end
                 in
@@ -471,6 +494,7 @@ let rec materialize_level (f : Ir.func) (region : Ir.region)
                         ~ty:ei.ty ~pred:ei.ipred
                     in
                     Tm.incr "materialize.versioning_phis";
+                    incr (phis_created ());
                     let items = Ir.region_items f region in
                     let items =
                       insert_after_node items (Ir.NI eta_id)
@@ -676,8 +700,13 @@ let rec materialize_level (f : Ir.func) (region : Ir.region)
    plans' versioning phis substituted into later plans' conditions): the
    check-hoisting legality argument of plan inference is per-plan, so a
    single batch may only contain the nodes of one plan. *)
+let rec tree_nodes p =
+  List.length p.Plan.p_nodes
+  + List.fold_left (fun a s -> a + tree_nodes s) 0 p.Plan.p_secondaries
+
 let run (f : Ir.func) (region : Ir.region) (plans : Plan.t list) :
     bool * (Ir.value_id -> Ir.value_id) =
+  Tr.with_span ~cat:"versioning" "materialize.run" @@ fun () ->
   let all_ok = ref true in
   let total = ref (fun (v : Ir.value_id) -> v) in
   List.iter
@@ -689,9 +718,17 @@ let run (f : Ir.func) (region : Ir.region) (plans : Plan.t list) :
          on its own — at worst some dead check code remains — but the
          caller must know the independence guarantee was NOT established
          and give up on the transformation that wanted it. *)
+      let phis_before = !(phis_created ()) in
       match materialize_level f region ~outer:!total [ plan ] with
       | local ->
         Tm.incr "materialize.plans";
+        Tr.remark (mat_anchor f region)
+          (Tr.Versioned
+             {
+               nodes = tree_nodes plan;
+               conds = Plan.conds_count plan;
+               phis = !(phis_created ()) - phis_before;
+             });
         let prev = !total in
         (* the OUTERMOST (earliest) versioning phi is the total merge:
            later trees rewire its arms when they version the value
@@ -700,8 +737,9 @@ let run (f : Ir.func) (region : Ir.region) (plans : Plan.t list) :
           fun v ->
             let p = prev v in
             if p <> v then p else local v
-      | exception Error _ ->
+      | exception Error msg ->
         Tm.incr "materialize.aborted";
+        Tr.remark (mat_anchor f region) (Tr.Materialize_aborted { reason = msg });
         all_ok := false)
     plans;
   (!all_ok, !total)

@@ -12,6 +12,7 @@
 open Fgv_pssa
 open Fgv_analysis
 module Tm = Fgv_support.Telemetry
+module Tr = Fgv_support.Trace
 
 type t = {
   p_nodes : Ir.node list; (* versioned: source side + input nodes *)
@@ -150,16 +151,36 @@ let rec infer_rec (g : Depgraph.t) ~(excluded : int list) ~(nodes : Ir.node list
 
 (* Public entry points *)
 
+(* Remark anchor for plan inference: the region's function and loop,
+   plus the first requested node when it is an instruction. *)
+let plan_anchor (g : Depgraph.t) (nodes : Ir.node list) =
+  let ctx = g.Depgraph.g_ctx in
+  let f = ctx.Depcond.cf in
+  Tr.anchor
+    ?loop:(match ctx.Depcond.cregion with
+          | Ir.Rloop l -> Some l
+          | Ir.Rtop -> None)
+    ?value:(match nodes with
+           | Ir.NI v :: _ -> Some (Ir.value_name f v)
+           | _ -> None)
+    f.Ir.fname
+
 let infer g ~nodes ~input_nodes =
   Tm.incr "plan.requests";
+  Tr.with_span ~cat:"versioning" "plan.infer" @@ fun () ->
   match infer_rec g ~excluded:[] ~nodes ~input_nodes ~depth:0 with
   | None ->
     Tm.incr "plan.infeasible";
+    Tr.remark (plan_anchor g nodes) Tr.Plan_infeasible;
     None
   | Some plan ->
     Tm.incr ~by:(count_plans plan) "plan.inferred";
     Tm.incr ~by:(conds_count plan) "plan.conds";
     Tm.set_max "plan.max_secondary_depth" (secondary_depth plan);
+    let depth = secondary_depth plan in
+    if depth > 0 then
+      Tr.remark (plan_anchor g nodes)
+        (Tr.Secondary_plan { depth; plans = count_plans plan });
     Some plan
 
 (* Fig. 13 [infer_version_plans_for_insts]: make a set of nodes pairwise

@@ -3,6 +3,7 @@ let () =
     [
       ("support", Test_support.suite);
       ("telemetry", Test_telemetry.suite);
+      ("trace", Test_trace.suite);
       ("pool", Test_pool.suite);
       ("verifier", Test_verifier.suite);
       ("pred", Test_pred.suite);

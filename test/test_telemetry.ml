@@ -1,156 +1,14 @@
 (* Tests for the telemetry registry: counter/timer/scope semantics, JSON
-   output well-formedness (checked with a small independent JSON parser,
-   so emitter bugs cannot hide behind a lenient consumer), and
-   reset-between-sessions behaviour. *)
+   output well-formedness (checked with the independent JSON parser in
+   {!Harness}, so emitter bugs cannot hide behind a lenient consumer),
+   and reset-between-sessions behaviour. *)
 
 module Tm = Fgv_support.Telemetry
 
-(* ------------------------------ a tiny independent JSON parser -------- *)
-
-(* Parses the full JSON grammar the emitter can produce (objects, arrays,
-   strings with escapes, numbers, booleans, null); raises [Failure] on
-   anything malformed.  Deliberately not the emitter run backwards. *)
-let parse_json (s : string) : Tm.json =
-  let pos = ref 0 in
-  let len = String.length s in
-  let peek () = if !pos < len then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let fail msg = failwith (Printf.sprintf "JSON parse error at %d: %s" !pos msg) in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some d when d = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let literal word value =
-    if !pos + String.length word <= len
-       && String.sub s !pos (String.length word) = word
-    then begin
-      pos := !pos + String.length word;
-      value
-    end
-    else fail ("expected " ^ word)
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' ->
-        advance ();
-        (match peek () with
-        | Some '"' -> Buffer.add_char buf '"'; advance ()
-        | Some '\\' -> Buffer.add_char buf '\\'; advance ()
-        | Some '/' -> Buffer.add_char buf '/'; advance ()
-        | Some 'n' -> Buffer.add_char buf '\n'; advance ()
-        | Some 'r' -> Buffer.add_char buf '\r'; advance ()
-        | Some 't' -> Buffer.add_char buf '\t'; advance ()
-        | Some 'b' -> Buffer.add_char buf '\b'; advance ()
-        | Some 'f' -> Buffer.add_char buf '\012'; advance ()
-        | Some 'u' ->
-          advance ();
-          if !pos + 4 > len then fail "bad \\u escape";
-          let hex = String.sub s !pos 4 in
-          let code =
-            try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
-          in
-          (* the emitter only escapes control characters; no surrogates *)
-          if code < 0x80 then Buffer.add_char buf (Char.chr code)
-          else Buffer.add_string buf (Printf.sprintf "\\u%s" hex);
-          pos := !pos + 4
-        | _ -> fail "bad escape");
-        go ()
-      | Some c when Char.code c < 0x20 -> fail "raw control character in string"
-      | Some c ->
-        Buffer.add_char buf c;
-        advance ();
-        go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num_char c =
-      match c with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
-      advance ()
-    done;
-    let text = String.sub s start (!pos - start) in
-    match int_of_string_opt text with
-    | Some n -> Tm.Int n
-    | None -> (
-      match float_of_string_opt text with
-      | Some x -> Tm.Float x
-      | None -> fail ("bad number " ^ text))
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then begin advance (); Tm.Assoc [] end
-      else begin
-        let rec fields acc =
-          skip_ws ();
-          let key = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            fields ((key, v) :: acc)
-          | Some '}' ->
-            advance ();
-            List.rev ((key, v) :: acc)
-          | _ -> fail "expected ',' or '}'"
-        in
-        Tm.Assoc (fields [])
-      end
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then begin advance (); Tm.List [] end
-      else begin
-        let rec items acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            items (v :: acc)
-          | Some ']' ->
-            advance ();
-            List.rev (v :: acc)
-          | _ -> fail "expected ',' or ']'"
-        in
-        Tm.List (items [])
-      end
-    | Some '"' -> Tm.String (parse_string ())
-    | Some 't' -> literal "true" (Tm.Bool true)
-    | Some 'f' -> literal "false" (Tm.Bool false)
-    | Some 'n' -> literal "null" Tm.Null
-    | Some ('-' | '0' .. '9') -> parse_number ()
-    | _ -> fail "expected a value"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> len then fail "trailing garbage";
-  v
+(* The independent JSON parser lives in {!Harness.parse_json} so the
+   trace and pool suites can share it; [Tm.json] is an alias of
+   {!Fgv_support.Json.t}, so its result matches [Tm.*] patterns. *)
+let parse_json = Harness.parse_json
 
 (* ------------------------------------------------------------ counters *)
 
