@@ -31,6 +31,7 @@ module W = Fgv_bench.Workload
 module Tm = Fgv_support.Telemetry
 module Tr = Fgv_support.Trace
 module J = Fgv_support.Json
+module G = Fgv_fuzz.Generator
 open Fgv_pssa
 
 let section title body =
@@ -221,11 +222,125 @@ let run_fig22 () =
          ("counters", counters_json delta);
        ])
 
+(* ----------------------------------------------- compile-time figures *)
+
+(* The compile-time lane times the compiler itself, not the generated
+   code: the full sv_versioning pipeline (parse -> plan -> materialize ->
+   condopt; interpretation excluded) over the paper's kernel suites plus
+   seeded fuzz programs of growing size.  Wall time and minor-heap
+   allocation land under a per-row "timing" object (stripped by the CI
+   determinism diff); the telemetry counters — including
+   depgraph.pairs_pruned and pred.hashcons_hits — are deterministic at
+   any --jobs count and are what CI pins. *)
+
+type ct_row = {
+  ct_name : string;
+  ct_wall_s : float;
+  ct_minor_words : float;
+  ct_counters : (string * int) list;
+}
+
+(* Fuzz-program sources for the lane: deterministic in (size, seed),
+   growing statement budgets so the dependence graphs get big. *)
+let ct_fuzz_specs =
+  List.map
+    (fun (size, seed) ->
+      ( Printf.sprintf "fuzz-s%d-%d" size seed,
+        lazy
+          (G.render
+             (G.generate
+                ~config:
+                  { G.default_config with G.size; max_loop_depth = 3 }
+                ~seed ())) ))
+    [ (30, 1); (60, 1); (120, 1); (240, 1); (240, 2); (480, 1) ]
+
+let ct_kernel_specs () =
+  List.map
+    (fun (k : W.kernel) -> (k.W.k_name, lazy k.W.k_source))
+    (Fgv_bench.Tsvc.kernels @ Fgv_bench.Polybench.kernels
+   @ Fgv_bench.Specfp.kernels)
+
+let ct_run_row (name, source) : ct_row =
+  let src = Lazy.force source in
+  (* an isolated registry (not a [capture] delta): per-row counters must
+     not depend on what earlier rows left behind — a saturated running
+     maximum would otherwise make the row's delta vary with the worker
+     schedule *)
+  let (wall, words), shard =
+    Tm.isolated (fun () ->
+        let m0 = Gc.minor_words () in
+        let t0 = Unix.gettimeofday () in
+        let f = Fgv_frontend.Lower_ast.compile src in
+        ignore (Fgv_passes.Pipelines.sv_versioning f);
+        (Unix.gettimeofday () -. t0, Gc.minor_words () -. m0))
+  in
+  Tm.merge_shard shard;
+  { ct_name = name; ct_wall_s = wall; ct_minor_words = words;
+    ct_counters = Tm.shard_counters shard }
+
+let run_compiletime () =
+  Tr.with_span ~cat:"figure" "compiletime" @@ fun () ->
+  let specs = ct_kernel_specs () @ ct_fuzz_specs in
+  let rows, delta =
+    Tm.capture (fun () -> Fgv_support.Pool.map ~jobs:!jobs ct_run_row specs)
+  in
+  let fuzz_rows =
+    List.filter
+      (fun r -> String.length r.ct_name > 4 && String.sub r.ct_name 0 4 = "fuzz")
+      rows
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-18s %10s %14s %10s %10s\n" "program" "wall ms"
+       "minor words" "pruned" "hc hits");
+  let counter row n = try List.assoc n row.ct_counters with Not_found -> 0 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-18s %10.2f %14.0f %10d %10d\n" r.ct_name
+           (r.ct_wall_s *. 1e3) r.ct_minor_words
+           (counter r "depgraph.pairs_pruned")
+           (counter r "pred.hashcons_hits")))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf "geomean wall: %.2f ms (all), %.2f ms (fuzz)\n"
+       (1e3 *. geomean (fun r -> r.ct_wall_s) rows)
+       (1e3 *. geomean (fun r -> r.ct_wall_s) fuzz_rows));
+  section "Compile time (sv_versioning pipeline)" (Buffer.contents buf);
+  add_figure "compiletime"
+    (J.Assoc
+       [
+         ( "rows",
+           J.List
+             (List.map
+                (fun r ->
+                  J.Assoc
+                    [
+                      ("name", J.String r.ct_name);
+                      ( "timing",
+                        J.Assoc
+                          [
+                            ("wall_s", J.Float r.ct_wall_s);
+                            ("minor_words", J.Float r.ct_minor_words);
+                          ] );
+                      ("counters", counters_json r.ct_counters);
+                    ])
+                rows) );
+         ( "timing",
+           J.Assoc
+             [
+               ("geomean_wall_s", J.Float (geomean (fun r -> r.ct_wall_s) rows));
+               ( "geomean_fuzz_wall_s",
+                 J.Float (geomean (fun r -> r.ct_wall_s) fuzz_rows) );
+             ] );
+         ("counters", counters_json delta);
+       ])
+
 let write_json file =
   let doc =
     J.Assoc
       [
-        ("schema_version", J.Int 2);
+        ("schema_version", J.Int 3);
         ("suite", J.String "fgv-bench");
         ("jobs", J.Int !jobs);
         ("figures", J.Assoc (List.rev !json_figures));
@@ -243,7 +358,7 @@ let write_json file =
 let usage () =
   Printf.eprintf
     "usage: main.exe [fig16|fig19|fig22|s258|ablation-mincut|ablation-condopt|\
-     wallclock|all]... [--json FILE] [--jobs N] [--trace FILE]\n";
+     compiletime|wallclock|all]... [--json FILE] [--jobs N] [--trace FILE]\n";
   exit 1
 
 let () =
@@ -293,6 +408,7 @@ let () =
     | "s258" -> run_s258 ()
     | "ablation-mincut" -> run_a1 ()
     | "ablation-condopt" -> run_a2 ()
+    | "compiletime" -> run_compiletime ()
     | "wallclock" -> wallclock ()
     | "all" ->
       run_fig19 ();
@@ -301,6 +417,7 @@ let () =
       run_s258 ();
       run_a1 ();
       run_a2 ();
+      run_compiletime ();
       section "Wall-clock sanity (Bechamel)" "";
       wallclock ()
     | other ->

@@ -39,7 +39,7 @@ module Udiff = Fgv_support.Udiff
 
 (* Schema versions of every machine-readable output this tool family
    emits; printed by --version so consumers can pin against them. *)
-let version_string = "fgv 0.4 (bench-json=2 fuzz-report=2 trace=1)"
+let version_string = "fgv 0.5 (bench-json=3 fuzz-report=2 trace=1)"
 
 let pipelines :
     (string * (?on_pass:(string -> Ir.func -> unit) -> Ir.func -> unit)) list =

@@ -12,12 +12,25 @@
      intersection. *)
 
 open Fgv_pssa
+module Tm = Fgv_support.Telemetry
 
 type atom =
   | Apred of Pred.t
   | Aintersect of Scev.range * Scev.range
 
 type cond = Never | Always | When of atom list
+
+(* Structural atom order (predicates by [Pred.compare_t], ranges by their
+   integer linear expressions): stable across runs, generations, and job
+   counts, so it is safe anywhere the order is observable. *)
+let compare_atom a b =
+  match a, b with
+  | Apred p, Apred q -> Pred.compare_t p q
+  | Apred _, Aintersect _ -> -1
+  | Aintersect _, Apred _ -> 1
+  | Aintersect (a1, a2), Aintersect (b1, b2) ->
+    let c = Stdlib.compare (a1 : Scev.range) b1 in
+    if c <> 0 then c else Stdlib.compare (a2 : Scev.range) b2
 
 (* Values a condition's run-time check would read (Fig. 13 line 14:
    [operands(dep_cond)]). *)
@@ -36,12 +49,25 @@ let atom_to_string scev = function
     Printf.sprintf "intersects(%s, %s)" (Scev.range_to_string scev r1)
       (Scev.range_to_string scev r2)
 
-(* Join two condition results as a disjunction. *)
+(* Join two condition results as a disjunction.  The atom list is kept
+   sorted and duplicate-free so one dependence never emits the same
+   run-time check twice downstream. *)
 let join a b =
   match a, b with
   | Always, _ | _, Always -> Always
   | Never, c | c, Never -> c
-  | When x, When y -> When (x @ y)
+  | When x, When y -> When (List.sort_uniq compare_atom (x @ y))
+
+(* Per-region summary of one memory access: its region-promoted range
+   and the restrict parameter the range is based on, both computed once
+   (the naive pairwise build re-derived the SCEV promotion for every
+   node pair the access participated in). *)
+type access = {
+  acc_v : Ir.value_id;
+  acc_write : bool;
+  acc_range : Scev.range option;
+  acc_base : Ir.value_id option;
+}
 
 type ctx = {
   cf : Ir.func;
@@ -54,6 +80,12 @@ type ctx = {
   (* region-level item that defines each value (values defined inside a
      sibling loop map to that loop node) *)
   def_item : (Ir.value_id, Ir.node) Hashtbl.t;
+  (* caches, all keyed on per-region-stable data (see DESIGN §12):
+     region-promoted ranges per access, access summaries and register
+     inputs per node *)
+  crange : (Ir.value_id, Scev.range option) Hashtbl.t;
+  caccess : (Ir.node, access list) Hashtbl.t;
+  cfree : (Ir.node, Ir.value_id list) Hashtbl.t;
 }
 
 let make_ctx f scev region =
@@ -82,17 +114,29 @@ let make_ctx f scev region =
     ceff = Ir.effective_preds f;
     under;
     def_item;
+    crange = Hashtbl.create 32;
+    caccess = Hashtbl.create 32;
+    cfree = Hashtbl.create 64;
   }
 
 let def_item ctx v = Hashtbl.find_opt ctx.def_item v
 
 (* The memory range of an access, promoted out of every loop nested under
    the region so that the bounds are computable at region level.  [None]
-   means "all of memory" (opaque calls or failed promotion). *)
+   means "all of memory" (opaque calls or failed promotion).  Memoized:
+   the promotion walks the SCEV and used to be re-derived for every node
+   pair the access participated in. *)
 let region_range ctx v : Scev.range option =
-  match Scev.range_of_access ctx.cscev v with
-  | None -> None
-  | Some r -> Scev.promote_range ctx.cscev ~out_of:(Hashtbl.mem ctx.under) r
+  match Hashtbl.find_opt ctx.crange v with
+  | Some r -> r
+  | None ->
+    let r =
+      match Scev.range_of_access ctx.cscev v with
+      | None -> None
+      | Some r -> Scev.promote_range ctx.cscev ~out_of:(Hashtbl.mem ctx.under) r
+    in
+    Hashtbl.add ctx.crange v r;
+    r
 
 (* Memory-vs-memory condition for two accesses (at least one writes). *)
 let memory_pair ctx i_v j_v : cond =
@@ -112,23 +156,65 @@ let mem_insts ctx node =
   | Ir.NI v -> if Ir.is_memory_inst (Ir.inst ctx.cf v) then [ v ] else []
   | Ir.NL lid -> Ir.memory_insts ctx.cf (Ir.L lid)
 
+(* The node's memory accesses with their promoted ranges and restrict
+   bases, computed once per node. *)
+let accesses ctx node =
+  match Hashtbl.find_opt ctx.caccess node with
+  | Some l -> l
+  | None ->
+    let l =
+      List.map
+        (fun v ->
+          let range = region_range ctx v in
+          {
+            acc_v = v;
+            acc_write = Ir.may_write_inst (Ir.inst ctx.cf v);
+            acc_range = range;
+            acc_base =
+              (match range with
+              | Some r -> Alias.restrict_base ctx.cf r
+              | None -> None);
+          })
+        (mem_insts ctx node)
+    in
+    Hashtbl.add ctx.caccess node l;
+    l
+
+(* Accesses based on distinct restrict parameters, with neither range
+   mentioning the other's base, address distinct allocations:
+   [Alias.relate] is [Disjoint] by construction (the difference of the
+   bounds mentions both bases with nonzero coefficients, so the
+   constant-difference test cannot conclude first), hence [memory_pair]
+   is [Never] and need not run at all. *)
+let bucket_disjoint a1 a2 =
+  match a1.acc_base, a2.acc_base, a1.acc_range, a2.acc_range with
+  | Some p, Some q, Some r1, Some r2 ->
+    p <> q
+    && (not (Alias.range_mentions r2 p))
+    && not (Alias.range_mentions r1 q)
+  | _ -> false
 
 (* Memory condition between two nodes: union over write-involving pairs
-   of member accesses. *)
+   of member accesses, pruning pairs whose restrict buckets prove them
+   disjoint. *)
 let memory_cond ctx i j =
-  let is1 = mem_insts ctx i and is2 = mem_insts ctx j in
+  let is1 = accesses ctx i and is2 = accesses ctx j in
   List.fold_left
-    (fun acc i1 ->
+    (fun acc a1 ->
       List.fold_left
-        (fun acc j1 ->
-          let w1 = Ir.may_write_inst (Ir.inst ctx.cf i1) in
-          let w2 = Ir.may_write_inst (Ir.inst ctx.cf j1) in
-          if w1 || w2 then join acc (memory_pair ctx i1 j1) else acc)
+        (fun acc a2 ->
+          if not (a1.acc_write || a2.acc_write) then acc
+          else if bucket_disjoint a1 a2 then begin
+            Tm.incr "depcond.mem_pairs_pruned";
+            acc
+          end
+          else join acc (memory_pair ctx a1.acc_v a2.acc_v))
         acc is2)
     Never is1
 
-(* Values a node reads that it does not define (register inputs). *)
-let free_values ctx node =
+(* Values a node reads that it does not define (register inputs).
+   Memoized per node: the loop-node case walks the whole loop body. *)
+let free_values_uncached ctx node =
   match node with
   | Ir.NI v -> Ir.all_operands (Ir.inst ctx.cf v)
   | Ir.NL lid ->
@@ -154,6 +240,14 @@ let free_values ctx node =
     List.sort_uniq compare
       (List.filter (fun v -> not (Hashtbl.mem defined v)) !used)
 
+let free_values ctx node =
+  match Hashtbl.find_opt ctx.cfree node with
+  | Some l -> l
+  | None ->
+    let l = free_values_uncached ctx node in
+    Hashtbl.add ctx.cfree node l;
+    l
+
 (* Does node i read a value defined by node j? *)
 let reads_from ctx i j =
   List.exists
@@ -166,6 +260,7 @@ let reads_from ctx i j =
 (* Fig. 6: the direct dependence condition c(i, j).  [i] comes after [j]
    in program order. *)
 let compute ctx (i : Ir.node) (j : Ir.node) : cond =
+  Tm.incr "depcond.compute_calls";
   match i, j with
   | Ir.NI iv, Ir.NI jv -> (
     let ii = Ir.inst ctx.cf iv in

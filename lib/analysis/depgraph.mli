@@ -26,7 +26,16 @@ val node_index : t -> Ir.node -> int
 (** Index of a region-level node; raises if absent. *)
 
 val build : Ir.func -> Scev.t -> Ir.region -> t
-(** Compute all pairwise dependence conditions (Fig. 6) over the region. *)
+(** Sparse construction: enumerate candidate pairs from a def→use index
+    and per-node memory-access summaries, and run Fig. 6 only on those;
+    every skipped pair is provably [Depcond.Never].  Produces the same
+    graph — edge ids, conditions, order — as {!build_naive}, bumps the
+    [depgraph.pairs_pruned] telemetry counter, and emits a
+    [Graph_sparsity] remark per region. *)
+
+val build_naive : Ir.func -> Scev.t -> Ir.region -> t
+(** Reference builder: Fig. 6 on every pair (quadratic).  Oracle for the
+    sparse-equivalence property test. *)
 
 val edge_conditional : edge -> bool
 

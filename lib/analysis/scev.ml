@@ -101,7 +101,7 @@ let rec trip t (lp : Ir.loop) : Linexp.t option =
 
 and compute_trip t lp =
   let open Ir in
-  match lp.cont with
+  match Pred.view lp.cont with
   | Pred.Plit { v = c; positive = true } -> (
     match (inst t.func c).kind with
     | Cmp (op, x, bound) -> (
@@ -169,7 +169,7 @@ let range_of_access t v : range option =
    unroll factor). *)
 let loop_advance t (lp : Ir.loop) : (Linexp.t * int) option =
   let open Ir in
-  match lp.cont with
+  match Pred.view lp.cont with
   | Pred.Plit { v = c; positive = true } -> (
     match (inst t.func c).kind with
     | Cmp (op, x, bound) -> (

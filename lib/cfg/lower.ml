@@ -29,7 +29,7 @@ let lookup st v =
 
 (* Materialize a predicate as a boolean cvalue in the current block. *)
 let rec lower_pred st (p : Pred.t) : C.cvalue =
-  match p with
+  match Pred.view p with
   | Ptrue -> C.emit st.prog st.cur (KConst (Cbool true)) Tbool
   | Pfalse -> C.emit st.prog st.cur (KConst (Cbool false)) Tbool
   | Plit { v; positive } ->

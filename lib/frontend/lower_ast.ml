@@ -289,8 +289,12 @@ let lower_fdecl (fd : Ast.fdecl) : Ir.func =
     |> List.map (fun i -> i);
   f
 
-(* Parse and lower a kernel, verifying the result. *)
+(* Parse and lower a kernel, verifying the result.  Each compile starts
+   a fresh predicate intern generation so table state (and the
+   pred.hashcons_* counters) never depends on what the domain compiled
+   before. *)
 let compile (src : string) : Ir.func =
+  Pred.reset ();
   let fd = Parser.parse src in
   let f = lower_fdecl fd in
   Verifier.verify f;
@@ -299,6 +303,7 @@ let compile (src : string) : Ir.func =
 (* Compile with the restrict qualifiers stripped (the PolyBench
    "restrict off" configuration). *)
 let compile_no_restrict (src : string) : Ir.func =
+  Pred.reset ();
   let fd = Parser.parse src in
   let fd = { fd with fdparams = List.map (fun p -> { p with Ast.prestrict = false }) fd.fdparams } in
   let f = lower_fdecl fd in

@@ -119,17 +119,27 @@ let solve t ~source ~sink =
 let augmenting_paths t = t.augmenting
 
 (* Source side of the min cut: nodes reachable from the source in the
-   residual graph.  Must be called after [solve]. *)
+   residual graph.  Must be called after [solve].  Explicit worklist
+   rather than recursion: residual reachability can chain through every
+   node, and a deep graph must not overflow the stack. *)
 let source_side t ~source =
   if not t.frozen then invalid_arg "Maxflow.source_side: call solve first";
   let seen = Array.make t.nodes false in
-  let rec go v =
-    if not seen.(v) then begin
-      seen.(v) <- true;
-      Array.iter (fun e -> if e.cap > 0 then go e.dst) t.adj.(v)
-    end
-  in
-  go source;
+  let stack = ref [ source ] in
+  seen.(source) <- true;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+      stack := rest;
+      Array.iter
+        (fun e ->
+          if e.cap > 0 && not seen.(e.dst) then begin
+            seen.(e.dst) <- true;
+            stack := e.dst :: !stack
+          end)
+        t.adj.(v)
+  done;
   seen
 
 (* Tags of saturated forward edges crossing the cut (source side ->

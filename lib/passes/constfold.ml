@@ -79,7 +79,7 @@ let fold_pred f p =
     match const_of f v with Some (Ir.Cbool b) -> Some b | _ -> None
   in
   let rec go (p : Pred.t) : Pred.t =
-    match p with
+    match Pred.view p with
     | Ptrue | Pfalse -> p
     | Plit { v; positive } -> (
       match known v with

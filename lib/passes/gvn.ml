@@ -50,7 +50,6 @@ type entry = { e_value : Ir.value_id; e_pred : Pred.t }
 let run (f : Ir.func) : int =
   let deleted = ref 0 in
   let repr : (Ir.value_id, Ir.value_id) Hashtbl.t = Hashtbl.create 64 in
-  let uses_to_fix = ref [] in
   (* memory generation: bumped by every may-write *)
   let memgen = ref 0 in
   let rec walk_items table load_table items =
@@ -90,13 +89,14 @@ let run (f : Ir.func) : int =
     with
     | Some e ->
       Hashtbl.replace repr v e.e_value;
-      uses_to_fix := (v, e.e_value) :: !uses_to_fix;
       incr deleted
     | None ->
       Hashtbl.replace table key ({ e_value = v; e_pred = pred } :: entries)
   in
   walk_items (Hashtbl.create 64) (Hashtbl.create 64) f.Ir.fbody;
-  List.iter
-    (fun (old_v, new_v) -> Ir.replace_all_uses f ~old_v ~new_v)
-    (List.rev !uses_to_fix);
+  (* [repr] is flat by construction — a representative is a table entry
+     and a table entry is never later redirected — so one batched walk
+     replaces the per-value [replace_all_uses] calls (which made GVN
+     quadratic in the function size) *)
+  Ir.replace_uses_map f repr;
   !deleted

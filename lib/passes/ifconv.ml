@@ -19,7 +19,7 @@ let rec pred_value f acc (p : Pred.t) : Ir.value_id =
     acc := Ir.I i.id :: !acc;
     i.id
   in
-  match p with
+  match Pred.view p with
   | Ptrue -> emit (Ir.Const (Cbool true))
   | Pfalse -> emit (Ir.Const (Cbool false))
   | Plit { v; positive } ->

@@ -93,8 +93,16 @@ type session = {
   func : Ir.func;
   region : Ir.region;
   scev : Scev.t;
-  vsession : V.Api.session;
+  (* forced on the first legality query: regions without vectorization
+     seeds never pay for SCEV or the dependence graph *)
+  vsession : V.Api.session Lazy.t;
   items : Ir.item list;
+  (* item index of each region-level instruction ([items] is fixed
+     during packing, so one table replaces a linear scan per query) *)
+  item_pos : (Ir.value_id, int) Hashtbl.t;
+  (* dependence successors per graph node, built on first use (the
+     graph is immutable during packing) *)
+  mutable dep_succ : Depgraph.edge list array option;
   stats : stats;
   mutable pending : V.Plan.t list;
   mutable accepted : (Ir.value_id list, pack) Hashtbl.t;
@@ -104,13 +112,18 @@ type session = {
   mutable pack_last : (Ir.value_id, int) Hashtbl.t;
 }
 
-let position s v =
-  let rec go k = function
-    | [] -> None
-    | Ir.I w :: _ when w = v -> Some k
-    | _ :: rest -> go (k + 1) rest
-  in
-  go 0 s.items
+let position s v = Hashtbl.find_opt s.item_pos v
+
+let dep_succ s =
+  match s.dep_succ with
+  | Some a -> a
+  | None ->
+    let a =
+      Depgraph.dependence_succ (Lazy.force s.vsession).V.Api.s_graph
+        ~excluded:(fun _ -> false)
+    in
+    s.dep_succ <- Some a;
+    a
 
 (* All members must be distinct region-level instruction items with the
    same predicate. *)
@@ -130,7 +143,7 @@ let uniform_region_insts s vs =
    enabled, conditional dependencies are handed to the framework; the
    returned plans are recorded on success. *)
 let schedulable s (vs : Ir.value_id list) : bool =
-  let g = s.vsession.V.Api.s_graph in
+  let g = (Lazy.force s.vsession).V.Api.s_graph in
   let nodes = List.map (fun v -> Ir.NI v) vs in
   let member_idx = List.map (Depgraph.node_index g) nodes in
   let positions = List.filter_map (fun v -> position s v) vs in
@@ -152,14 +165,14 @@ let schedulable s (vs : Ir.value_id list) : bool =
            | _ -> None)
   in
   (* restrict to crossers that actually interact with members *)
+  let succ = dep_succ s in
   let interacting =
     List.filter
       (fun c ->
         let ci = Depgraph.node_index g c in
         List.exists
-          (fun e ->
-            e.Depgraph.e_src = ci && List.mem e.Depgraph.e_dst member_idx)
-          (Array.to_list g.Depgraph.edges))
+          (fun e -> List.mem e.Depgraph.e_dst member_idx)
+          succ.(ci))
       crossers
   in
   (* packs that would need control-flow speculation (predicate
@@ -173,7 +186,9 @@ let schedulable s (vs : Ir.value_id list) : bool =
     || List.exists has_control_conds p.V.Plan.p_secondaries
   in
   if s.cfg.versioning then begin
-    match V.Api.request_independence ~record:false s.vsession nodes with
+    match
+      V.Api.request_independence ~record:false (Lazy.force s.vsession) nodes
+    with
     | None -> false
     | Some plan1 when has_control_conds plan1 -> false
     | Some plan1 -> (
@@ -181,7 +196,7 @@ let schedulable s (vs : Ir.value_id list) : bool =
         if interacting = [] then None
         else
           match
-            V.Api.request_separation ~record:false s.vsession
+            V.Api.request_separation ~record:false (Lazy.force s.vsession)
               ~nodes:interacting ~input_nodes:nodes
           with
           | None -> raise Exit (* sentinel: rejected *)
@@ -194,7 +209,7 @@ let schedulable s (vs : Ir.value_id list) : bool =
       true)
   end
   else
-    V.Api.already_independent s.vsession nodes
+    V.Api.already_independent (Lazy.force s.vsession) nodes
     && not
          (Depgraph.depends_on g
             ~excluded:(fun _ -> false)
@@ -346,6 +361,11 @@ let find_seeds s : Ir.value_id list list =
       in
       windows [] sorted @ acc)
     groups []
+  (* the table above is keyed on interned predicates, whose hashes (and
+     hence fold order) vary with the domain's interning history: fix a
+     structural order so packing decisions and remark streams are
+     byte-identical at any --jobs *)
+  |> List.sort (List.compare Int.compare)
 
 (* ----------------------------------------------------------- codegen *)
 
@@ -524,7 +544,15 @@ let codegen s : int =
 let run_region ?(config = default_config) (f : Ir.func) (region : Ir.region)
     (stats : stats) : int =
   let scev = Scev.create f in
-  let vsession = V.Api.create ~condopt:config.condopt f region in
+  let vsession = lazy (V.Api.create ~condopt:config.condopt ~scev f region) in
+  let items = Ir.region_items f region in
+  let item_pos = Hashtbl.create (max 16 (List.length items)) in
+  List.iteri
+    (fun k item ->
+      match item with
+      | Ir.I v -> Hashtbl.replace item_pos v k
+      | Ir.L _ -> ())
+    items;
   let s =
     {
       cfg = config;
@@ -532,7 +560,9 @@ let run_region ?(config = default_config) (f : Ir.func) (region : Ir.region)
       region;
       scev;
       vsession;
-      items = Ir.region_items f region;
+      items;
+      item_pos;
+      dep_succ = None;
       stats;
       pending = [];
       accepted = Hashtbl.create 8;
@@ -540,8 +570,9 @@ let run_region ?(config = default_config) (f : Ir.func) (region : Ir.region)
       pack_last = Hashtbl.create 32;
     }
   in
-  let seeds = find_seeds s in
-  List.iter (fun seed -> ignore (try_pack s seed)) seeds;
+  let seeds = Fgv_support.Trace.with_span "slp.seeds" (fun () -> find_seeds s) in
+  Fgv_support.Trace.with_span "slp.pack" (fun () ->
+      List.iter (fun seed -> ignore (try_pack s seed)) seeds);
   if Hashtbl.length s.accepted = 0 then 0
   else begin
     (* paper integration point 2: materialize the plans, then generate
@@ -558,30 +589,33 @@ let run_region ?(config = default_config) (f : Ir.func) (region : Ir.region)
        (upgradeable to one check guarding the whole loop) and the rest
        (per-iteration dual paths); pack members ride with whichever
        bucket exists so the fast path is purely vector *)
-    let invariant_plan p =
-      p.V.Plan.p_secondaries = []
-      &&
+    let invariant_plan =
       match region with
+      | Ir.Rtop -> fun _ -> false
       | Ir.Rloop lid ->
+        (* one order table for every plan; [compute_order] walks the
+           whole function *)
         let order = Ir.compute_order f in
         let loop_start = order (Ir.NL lid) in
-        List.for_all
-          (fun a ->
-            List.for_all
-              (fun v -> order (Ir.NI v) < loop_start)
-              (Fgv_analysis.Depcond.atom_operands a))
-          p.V.Plan.p_conds
-      | Ir.Rtop -> false
+        fun p ->
+          p.V.Plan.p_secondaries = []
+          && List.for_all
+               (fun a ->
+                 List.for_all
+                   (fun v -> order (Ir.NI v) < loop_start)
+                   (Fgv_analysis.Depcond.atom_operands a))
+               p.V.Plan.p_conds
     in
     let invariant, residual = List.partition invariant_plan s.pending in
     let record ~extra plans =
       match V.Api.union_plans f ~extra_nodes:extra plans with
-      | Some plan -> V.Api.record_plan vsession plan
+      | Some plan -> V.Api.record_plan (Lazy.force vsession) plan
       | None -> ()
     in
     record ~extra:(if residual = [] then [] else members) residual;
     record ~extra:[] invariant;
-    if V.Api.materialize ~loop_upgrade:true vsession <> None then codegen s
+    if V.Api.materialize ~loop_upgrade:true (Lazy.force vsession) <> None then
+      Fgv_support.Trace.with_span "slp.codegen" (fun () -> codegen s)
     else begin
       (* a plan could not be materialized in the current program state:
          the independence the packs relied on was NOT established, so no

@@ -458,6 +458,32 @@ let replace_all_uses f ~old_v ~new_v =
       lp.cont <- Pred.rename subst lp.cont)
     f.loop_arena
 
+(* Batched form of [replace_all_uses]: apply a whole substitution map in
+   a single arena walk.  Callers like GVN accumulate hundreds of
+   replacements, and one full walk per replacement is quadratic in the
+   function size.  The map must be flat (no value in its domain appears
+   in its range).  Predicates are rebuilt only when one of their
+   literals is actually substituted. *)
+let replace_uses_map f (map : (value_id, value_id) Hashtbl.t) =
+  if Hashtbl.length map > 0 then begin
+    let subst v = Option.value ~default:v (Hashtbl.find_opt map v) in
+    let rename_pred p =
+      if List.exists (Hashtbl.mem map) (Pred.literals p) then
+        Pred.rename subst p
+      else p
+    in
+    Hashtbl.iter
+      (fun _ i ->
+        i.kind <- rename_kind subst i.kind;
+        i.ipred <- rename_pred i.ipred)
+      f.arena;
+    Hashtbl.iter
+      (fun _ lp ->
+        lp.lpred <- rename_pred lp.lpred;
+        lp.cont <- rename_pred lp.cont)
+      f.loop_arena
+  end
+
 (* ----------------------------------------------------- reachability set *)
 
 (* All value ids defined by an item, recursively. *)

@@ -231,13 +231,24 @@ let isolated f =
     Domain.DLS.set registry_key saved;
     raise e
 
+(* [set_max] counters — base name starting with "max_" — hold a maximum,
+   not a sum: merging two shards (or a shard into a registry) must take
+   the larger value, or parallel runs would report inflated "maxima". *)
+let is_max_counter name =
+  let base =
+    match String.rindex_opt name '.' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  String.length base >= 4 && String.sub base 0 4 = "max_"
+
+let merge_counter reg (name, v) =
+  let r = counter_ref reg name in
+  if is_max_counter name then (if v > !r then r := v) else r := !r + v
+
 let merge_shard (s : shard) =
   let reg = cur () in
-  List.iter
-    (fun (name, v) ->
-      let r = counter_ref reg name in
-      r := !r + v)
-    s.s_counters;
+  List.iter (merge_counter reg) s.s_counters;
   List.iter
     (fun (name, total, count) ->
       let t = timer_cell reg name in
@@ -252,14 +263,7 @@ let merge_joined (shards : shard list) =
      counts still sum.  Summing totals across workers would report more
      seconds than the join took on the wall clock. *)
   let reg = cur () in
-  List.iter
-    (fun s ->
-      List.iter
-        (fun (name, v) ->
-          let r = counter_ref reg name in
-          r := !r + v)
-        s.s_counters)
-    shards;
+  List.iter (fun s -> List.iter (merge_counter reg) s.s_counters) shards;
   let maxima : (string, float * int) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun s ->

@@ -44,7 +44,10 @@ val incr : ?by:int -> string -> unit
 
 val set_max : string -> int -> unit
 (** Raise the named counter to [v] if it is currently lower (running
-    maxima, e.g. recursion depths). *)
+    maxima, e.g. recursion depths).  The counter's base name must start
+    with ["max_"]: shard merges combine such counters by maximum rather
+    than by sum, so parallel runs report the same value as sequential
+    ones. *)
 
 val get : string -> int
 (** Current value (0 if never bumped).  The name is taken as already
@@ -113,14 +116,16 @@ val isolated : (unit -> 'a) -> 'a * shard
     shard is discarded and the exception re-raised). *)
 
 val merge_shard : shard -> unit
-(** Fold one shard into the calling domain's registry: counters summed,
-    timer totals and counts summed — i.e. as if the shard's work had
-    been recorded here sequentially.  Use this to replay {!isolated}
-    task shards in a deterministic order. *)
+(** Fold one shard into the calling domain's registry: counters summed
+    (["max_"]-based counters combined by maximum), timer totals and
+    counts summed — i.e. as if the shard's work had been recorded here
+    sequentially.  Use this to replay {!isolated} task shards in a
+    deterministic order. *)
 
 val merge_joined : shard list -> unit
 (** Fold the shards of a parallel join into the calling domain's
-    registry: counters summed; for each timer, the *maximum* total
+    registry: counters summed (["max_"]-based counters combined by
+    maximum); for each timer, the *maximum* total
     across the shards (the critical path of the slowest worker) is
     added once, while invocation counts sum.  {!Pool.map} calls this
     with its workers' shards, so timer totals under [--jobs N]

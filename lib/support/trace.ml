@@ -49,6 +49,7 @@ type remark =
   | Pass_applied of { pass : string; work : (string * int) list }
   | Pass_skipped of { pass : string; reason : string }
   | Materialize_aborted of { reason : string }
+  | Graph_sparsity of { nodes : int; edges : int; pairs_pruned : int }
 
 type span_entry =
   | Sbegin of {
@@ -200,6 +201,10 @@ let slug_and_payload :
       [ ("pass", Json.String pass); ("reason", Json.String reason) ] )
   | Materialize_aborted { reason } ->
     ("materialize-aborted", [ ("reason", Json.String reason) ])
+  | Graph_sparsity { nodes; edges; pairs_pruned } ->
+    ( "graph-sparsity",
+      [ ("nodes", Json.Int nodes); ("edges", Json.Int edges);
+        ("pairs_pruned", Json.Int pairs_pruned) ] )
 
 let remark_json (a, r) : Json.t =
   let slug, payload = slug_and_payload r in
@@ -256,6 +261,11 @@ let remark_message = function
   | Pass_skipped { pass; reason } -> Printf.sprintf "%s skipped: %s" pass reason
   | Materialize_aborted { reason } ->
     Printf.sprintf "plan materialization aborted: %s" reason
+  | Graph_sparsity { nodes; edges; pairs_pruned } ->
+    Printf.sprintf
+      "dependence graph: %d node(s), %d edge(s), %d candidate pair(s) pruned \
+       without computing a condition"
+      nodes edges pairs_pruned
 
 let remark_text (a, r) =
   let loc =

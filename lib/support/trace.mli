@@ -88,6 +88,10 @@ type remark =
   | Materialize_aborted of { reason : string }
       (** a plan tree could not be materialized in the current program
           state; the transformation that wanted it gave up *)
+  | Graph_sparsity of { nodes : int; edges : int; pairs_pruned : int }
+      (** a region's dependence graph was built sparsely: of the
+          all-pairs candidate space, [pairs_pruned] pairs were pruned
+          without computing a dependence condition (DESIGN §12) *)
 
 val remark : anchor -> remark -> unit
 (** Append to the calling domain's remark stream (no-op when remarks

@@ -20,9 +20,11 @@ type session = {
   s_enclosing : Ir.loop_id list;
 }
 
-let create ?(condopt = Condopt.default_config) (f : Ir.func)
+let create ?(condopt = Condopt.default_config) ?scev (f : Ir.func)
     (region : Ir.region) : session =
-  let scev = Scev.create f in
+  (* callers that already ran SCEV on the unmodified function (e.g. the
+     SLP packer) pass it in rather than paying a second analysis *)
+  let scev = match scev with Some s -> s | None -> Scev.create f in
   let graph = Depgraph.build f scev region in
   let chain = Ir.region_chain f region in
   let enclosing =

@@ -21,7 +21,11 @@ type session = {
       (** loops enclosing the region, innermost first (promotion targets) *)
 }
 
-val create : ?condopt:Condopt.config -> Ir.func -> Ir.region -> session
+val create :
+  ?condopt:Condopt.config -> ?scev:Scev.t -> Ir.func -> Ir.region -> session
+(** Build a session (SCEV + dependence graph) for one region.  [?scev]
+    reuses a caller's analysis of the same, unmodified function instead
+    of running it again. *)
 
 val node_of_value : session -> Ir.value_id -> Ir.node option
 (** Region-level node containing a value (the value's own instruction, or

@@ -68,7 +68,7 @@ let emitted em = List.rev em.acc
 
 let materialize_pred em (p : Pred.t) : Ir.value_id =
   let rec go p =
-    match (p : Pred.t) with
+    match Pred.view p with
     | Ptrue -> emit em (Ir.Const (Cbool true)) Tbool
     | Pfalse -> emit em (Ir.Const (Cbool false)) Tbool
     | Plit { v; positive } ->
@@ -226,7 +226,11 @@ let rec materialize_level (f : Ir.func) (region : Ir.region)
     (* groups: one check per unique condition set *)
     let groups : (Depcond.atom list * Ir.node list) list =
       Hashtbl.fold (fun node conds acc -> (conds, node) :: acc) table []
-      |> List.sort compare
+      |> List.sort (fun (c1, n1) (c2, n2) ->
+             (* structural atom order: interned predicate ids are
+                arbitrary, so polymorphic compare is not stable here *)
+             let c = List.compare Depcond.compare_atom c1 c2 in
+             if c <> 0 then c else Stdlib.compare (n1 : Ir.node) n2)
       |> List.fold_left
            (fun acc (conds, node) ->
              match acc with
@@ -255,12 +259,33 @@ let rec materialize_level (f : Ir.func) (region : Ir.region)
     let chk_of_group : (Depcond.atom list, Ir.value_id) Hashtbl.t =
       Hashtbl.create 8
     in
+    (* One analysis serves every group: the only mutation phase A performs
+       is inserting check chains, whose instructions never may-write
+       (clones of pure/load code plus the comparison network), so no
+       dependence edge can involve an inserted item and every graph query
+       below concerns pre-existing nodes only.  Positions are still taken
+       from the refreshed item list so insertion indexes account for
+       earlier groups' checks. *)
+    let scev = Scev.create f in
+    let ctx = Depcond.make_ctx f scev region in
+    (* the graph's edges are consulted only when a check chain reaches
+       below its insertion point (a cloned load must collect the
+       conditions of the dependences it crosses) — a rare shape, so the
+       quadratic construction is deferred to first use *)
+    let g = lazy (Depgraph.build f scev region) in
+    let succ =
+      lazy (Depgraph.dependence_succ (Lazy.force g) ~excluded:(fun _ -> false))
+    in
     List.iter
       (fun (conds, group_nodes) ->
         let items = Ir.region_items f region in
-        let scev = Scev.create f in
-        let g = Depgraph.build f scev region in
-        let pos_opt node = index_of_node items node in
+        let pos : (Ir.node, int) Hashtbl.t =
+          Hashtbl.create (List.length items)
+        in
+        List.iteri
+          (fun k item -> Hashtbl.replace pos (Ir.node_of_item item) k)
+          items;
+        let pos_opt node = Hashtbl.find_opt pos node in
         let insert_pos =
           List.fold_left
             (fun acc n ->
@@ -272,7 +297,7 @@ let rec materialize_level (f : Ir.func) (region : Ir.region)
         let chain : (Ir.value_id, unit) Hashtbl.t = Hashtbl.create 8 in
         let rec close_chain v =
           if not (Hashtbl.mem chain v) then
-            match Depcond.def_item g.Depgraph.g_ctx v with
+            match Depcond.def_item ctx v with
             | Some node -> (
               match pos_opt node with
               | Some k when k >= insert_pos -> (
@@ -298,18 +323,18 @@ let rec materialize_level (f : Ir.func) (region : Ir.region)
            loads) *)
         let extra_atoms = ref [] in
         let scanned : (Ir.value_id, unit) Hashtbl.t = Hashtbl.create 8 in
-        let succ = Depgraph.dependence_succ g ~excluded:(fun _ -> false) in
         let scan_load v =
           if not (Hashtbl.mem scanned v) then begin
             Hashtbl.replace scanned v ();
             let node = Ir.NI v in
-            let idx = Depgraph.node_index g node in
+            let gg = Lazy.force g in
+            let idx = Depgraph.node_index gg node in
             List.iter
               (fun e ->
-                let target = g.Depgraph.nodes.(e.Depgraph.e_dst) in
+                let target = gg.Depgraph.nodes.(e.Depgraph.e_dst) in
                 match pos_opt target with
                 | Some k when k >= insert_pos ->
-                  if not (Depcond.reads_from g.Depgraph.g_ctx node target) then begin
+                  if not (Depcond.reads_from ctx node target) then begin
                     match e.Depgraph.e_cond with
                     | Some atoms -> extra_atoms := atoms @ !extra_atoms
                     | None ->
@@ -318,7 +343,7 @@ let rec materialize_level (f : Ir.func) (region : Ir.region)
                          conflicts with code below the insertion point"
                   end
                 | _ -> ())
-              succ.(idx)
+              (Lazy.force succ).(idx)
           end
         in
         let rec saturate () =

@@ -45,7 +45,10 @@ let rec count_plans p =
   1 + List.fold_left (fun a s -> a + count_plans s) 0 p.p_secondaries
 
 (* Canonical, de-duplicated atom list. *)
-let dedup_atoms atoms = List.sort_uniq compare atoms
+(* Structural order, not polymorphic compare: predicates are interned
+   and their ids are arbitrary, so only [Depcond.compare_atom] is stable
+   across runs and job counts. *)
+let dedup_atoms atoms = List.sort_uniq Depcond.compare_atom atoms
 
 exception Infeasible
 

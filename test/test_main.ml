@@ -13,6 +13,7 @@ let () =
       ("versioning", Test_versioning.suite);
       ("passes", Test_passes.suite);
       ("analysis", Test_analysis.suite);
+      ("sparse", Test_sparse.suite);
       ("random", Test_random.suite);
       ("fuzz", Test_fuzz.suite);
       ("condopt", Test_condopt.suite);
