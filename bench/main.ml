@@ -222,6 +222,34 @@ let run_fig22 () =
          ("counters", counters_json delta);
        ])
 
+let run_clients () =
+  Tr.with_span ~cat:"figure" "clients" @@ fun () ->
+  let rows, delta = Tm.capture (fun () -> E.clients_rows ~jobs:!jobs ()) in
+  section "E6 / DSE & loop-distribution clients" (E.clients_of_rows rows);
+  add_figure "clients"
+    (J.Assoc
+       [
+         ( "rows",
+           J.List
+             (List.map
+                (fun (r : E.client_row) ->
+                  J.Assoc
+                    [
+                      ("client", J.String r.E.v_client);
+                      ("kernel", J.String r.E.v_kernel);
+                      ("speedup_vs_static", J.Float r.E.v_speedup);
+                      ("newly_vectorized", J.Bool r.E.v_newly_vectorized);
+                      ("forwarded", J.Int r.E.v_forwarded);
+                      ("killed", J.Int r.E.v_killed);
+                      ("pieces", J.Int r.E.v_pieces);
+                    ])
+                rows) );
+         ( "geomean",
+           J.Assoc
+             [ ("speedup_vs_static", J.Float (geomean (fun r -> r.E.v_speedup) rows)) ] );
+         ("counters", counters_json delta);
+       ])
+
 (* ----------------------------------------------- compile-time figures *)
 
 (* The compile-time lane times the compiler itself, not the generated
@@ -240,28 +268,65 @@ type ct_row = {
   ct_counters : (string * int) list;
 }
 
+(* A lane row: a program source plus the pipeline it is compiled with
+   (the suites time sv_versioning; the client rows time the new dse /
+   distribute pipelines on their target kernels, without restrict so the
+   versioning path actually runs). *)
+type ct_spec = {
+  cs_name : string;
+  cs_source : string Lazy.t;
+  cs_restrict : bool;
+  cs_apply : Ir.func -> unit;
+}
+
+let ct_sv f = ignore (Fgv_passes.Pipelines.sv_versioning f)
+
 (* Fuzz-program sources for the lane: deterministic in (size, seed),
    growing statement budgets so the dependence graphs get big. *)
 let ct_fuzz_specs =
   List.map
     (fun (size, seed) ->
-      ( Printf.sprintf "fuzz-s%d-%d" size seed,
-        lazy
-          (G.render
-             (G.generate
-                ~config:
-                  { G.default_config with G.size; max_loop_depth = 3 }
-                ~seed ())) ))
+      {
+        cs_name = Printf.sprintf "fuzz-s%d-%d" size seed;
+        cs_source =
+          lazy
+            (G.render
+               (G.generate
+                  ~config:
+                    { G.default_config with G.size; max_loop_depth = 3 }
+                  ~seed ()));
+        cs_restrict = true;
+        cs_apply = ct_sv;
+      })
     [ (30, 1); (60, 1); (120, 1); (240, 1); (240, 2); (480, 1) ]
 
 let ct_kernel_specs () =
   List.map
-    (fun (k : W.kernel) -> (k.W.k_name, lazy k.W.k_source))
+    (fun (k : W.kernel) ->
+      { cs_name = k.W.k_name; cs_source = lazy k.W.k_source;
+        cs_restrict = true; cs_apply = ct_sv })
     (Fgv_bench.Tsvc.kernels @ Fgv_bench.Polybench.kernels
    @ Fgv_bench.Specfp.kernels)
 
-let ct_run_row (name, source) : ct_row =
-  let src = Lazy.force source in
+let ct_client_specs () =
+  List.map
+    (fun (client, kname) ->
+      let apply f =
+        match client with
+        | "dse" -> ignore (Fgv_passes.Pipelines.dse_pipeline f)
+        | "distribute" -> ignore (Fgv_passes.Pipelines.distribute_pipeline f)
+        | _ -> ignore (Fgv_passes.Pipelines.combined f)
+      in
+      {
+        cs_name = kname ^ "+" ^ client;
+        cs_source = lazy (E.tsvc_kernel kname).W.k_source;
+        cs_restrict = false;
+        cs_apply = apply;
+      })
+    [ ("dse", "s222"); ("distribute", "s2251"); ("combined", "s222") ]
+
+let ct_run_row spec : ct_row =
+  let src = Lazy.force spec.cs_source in
   (* an isolated registry (not a [capture] delta): per-row counters must
      not depend on what earlier rows left behind — a saturated running
      maximum would otherwise make the row's delta vary with the worker
@@ -270,17 +335,20 @@ let ct_run_row (name, source) : ct_row =
     Tm.isolated (fun () ->
         let m0 = Gc.minor_words () in
         let t0 = Unix.gettimeofday () in
-        let f = Fgv_frontend.Lower_ast.compile src in
-        ignore (Fgv_passes.Pipelines.sv_versioning f);
+        let f =
+          if spec.cs_restrict then Fgv_frontend.Lower_ast.compile src
+          else Fgv_frontend.Lower_ast.compile_no_restrict src
+        in
+        spec.cs_apply f;
         (Unix.gettimeofday () -. t0, Gc.minor_words () -. m0))
   in
   Tm.merge_shard shard;
-  { ct_name = name; ct_wall_s = wall; ct_minor_words = words;
+  { ct_name = spec.cs_name; ct_wall_s = wall; ct_minor_words = words;
     ct_counters = Tm.shard_counters shard }
 
 let run_compiletime () =
   Tr.with_span ~cat:"figure" "compiletime" @@ fun () ->
-  let specs = ct_kernel_specs () @ ct_fuzz_specs in
+  let specs = ct_kernel_specs () @ ct_client_specs () @ ct_fuzz_specs in
   let rows, delta =
     Tm.capture (fun () -> Fgv_support.Pool.map ~jobs:!jobs ct_run_row specs)
   in
@@ -357,8 +425,9 @@ let write_json file =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [fig16|fig19|fig22|s258|ablation-mincut|ablation-condopt|\
-     compiletime|wallclock|all]... [--json FILE] [--jobs N] [--trace FILE]\n";
+    "usage: main.exe [fig16|fig19|fig22|clients|s258|ablation-mincut|\
+     ablation-condopt|compiletime|wallclock|all]... [--json FILE] [--jobs N] \
+     [--trace FILE]\n";
   exit 1
 
 let () =
@@ -405,6 +474,7 @@ let () =
     | "fig19" | "tsvc" -> run_fig19 ()
     | "fig16" | "polybench" -> run_fig16 ()
     | "fig22" | "rle" | "specfp" -> run_fig22 ()
+    | "clients" | "dse" | "distribute" -> run_clients ()
     | "s258" -> run_s258 ()
     | "ablation-mincut" -> run_a1 ()
     | "ablation-condopt" -> run_a2 ()
@@ -414,6 +484,7 @@ let () =
       run_fig19 ();
       run_fig16 ();
       run_fig22 ();
+      run_clients ();
       run_s258 ();
       run_a1 ();
       run_a2 ();

@@ -53,6 +53,17 @@ let pipelines :
     ( "rle-static",
       fun ?on_pass f ->
         ignore (P.Pipelines.rle_pipeline ~versioning:false ?on_pass f) );
+    ("dse", fun ?on_pass f -> ignore (P.Pipelines.dse_pipeline ?on_pass f));
+    ( "dse-static",
+      fun ?on_pass f ->
+        ignore (P.Pipelines.dse_pipeline ~versioning:false ?on_pass f) );
+    ( "distribute",
+      fun ?on_pass f -> ignore (P.Pipelines.distribute_pipeline ?on_pass f) );
+    ( "distribute-static",
+      fun ?on_pass f ->
+        ignore (P.Pipelines.distribute_pipeline ~versioning:false ?on_pass f)
+    );
+    ("combined", fun ?on_pass f -> ignore (P.Pipelines.combined ?on_pass f));
   ]
 
 let print_stats stats =
@@ -254,7 +265,8 @@ let fuzz_report_opt =
 let pipeline =
   Arg.(value & opt string "none" & info [ "p"; "pipeline" ] ~docv:"PIPE"
          ~doc:"optimization pipeline: none, o3-novec, o3, sv, sv+v, rle, \
-               rle-static (with --fuzz also sv+v-nopromo; none = fuzz all)")
+               rle-static, dse, dse-static, distribute, distribute-static, \
+               combined (with --fuzz also sv+v-nopromo; none = fuzz all)")
 
 let dump_ir =
   Arg.(

@@ -225,6 +225,11 @@ let kernels : Workload.kernel list =
            e[i] = e[i - 1] * e[i - 1];
            a[i] = a[i] - b[i] * c[i];
          } |};
+    k "s2251" ~note:"clean stream fused with a recurrence"
+      {| for (int i = 1; i < n; i = i + 1) {
+           a[i] = b[i] + c[i] * d[i];
+           e[i] = e[i - 1] * e[i - 1];
+         } |};
     k "s231" ~note:"2-D column recurrence"
       {| for (int i = 0; i < 8; i = i + 1) {
            for (int j = 1; j < 8; j = j + 1) {

@@ -310,6 +310,46 @@ let gen_call st c sc : Ast.stmt =
           [ Ast.Sexpr (Ast.Ecall ("cold_func", [])) ],
           [] )
 
+(* Same-address store pair with an optional interleaved may-alias
+   access: the DSE client's hot path.  The first store is killable when
+   the accesses in between are versioned away; a load of the same cell
+   in between is a forwardable load. *)
+let gen_dse_pair st c sc : Ast.stmt list =
+  sc.budget <- sc.budget - 2;
+  let ptrs = param_names c in
+  let i = rint st (List.length ptrs) in
+  let p = List.nth ptrs i in
+  let idx = gen_index st sc in
+  let elem = ptr_elem c i in
+  let gen_val depth =
+    match elem with
+    | Ast.Tint -> gen_iexpr st c sc depth
+    | _ -> gen_fexpr st c sc depth
+  in
+  let first = Ast.Sstore (p, idx, gen_val 1) in
+  let middle =
+    match rint st 4 with
+    | 0 -> []
+    | 1 -> [ gen_store st c sc ] (* may-alias writer *)
+    | 2 ->
+      (* read the just-stored cell: a forwardable load *)
+      let name = Printf.sprintf "x%d" sc.fresh in
+      sc.fresh <- sc.fresh + 1;
+      let s = Ast.Sdecl (elem, name, Ast.Eindex (p, idx)) in
+      (match elem with
+      | Ast.Tint -> sc.ints <- name :: sc.ints
+      | _ -> sc.floats <- name :: sc.floats);
+      [ s ]
+    | _ -> [ Ast.Sif (gen_bexpr st c sc 1, [ gen_store st c sc ], []) ]
+  in
+  let second =
+    (* sometimes accumulate through the cell, giving the pair a flow
+       dependence the forwarder must resolve before the kill can fire *)
+    if chance st 0.5 then gen_val 1
+    else Ast.Ebin ("+", Ast.Eindex (p, idx), gen_val 0)
+  in
+  (first :: middle) @ [ Ast.Sstore (p, idx, second) ]
+
 (* Snapshot/restore lexical scope around nested blocks: declarations
    inside a branch or loop body are not visible after it. *)
 let save sc = (sc.floats, sc.ints, sc.ivs)
@@ -319,26 +359,58 @@ let restore sc (f, i, v) =
   sc.ints <- i;
   sc.ivs <- v
 
-let rec gen_stmt st c sc ~loop_depth : Ast.stmt =
+(* A distribution-shaped loop: a clean elementwise stream fused with a
+   loop-carried recurrence through a possibly-aliasing pointer — the
+   s222/s2251 shape the distribute client splits. *)
+let gen_dist_loop st c sc : Ast.stmt =
+  sc.loops <- sc.loops + 1;
+  sc.budget <- sc.budget - 1;
+  let iv = Printf.sprintf "i%d" sc.fresh in
+  sc.fresh <- sc.fresh + 1;
+  let trip = 4 + rint st 4 in
+  let fps = float_ptrs c in
+  let p = pick st fps in
+  let q = pick st fps in
+  let snap = save sc in
+  sc.ivs <- (iv, trip - 1) :: sc.ivs;
+  let clean = Ast.Sstore (p, Ast.Evar iv, gen_fexpr st c sc 1) in
+  let recur =
+    Ast.Sstore
+      ( q,
+        Ast.Ebin ("+", Ast.Evar iv, Ast.Eint 1),
+        Ast.Ebin ("*", Ast.Eindex (q, Ast.Evar iv), float_lit st) )
+  in
+  let body = if chance st 0.5 then [ clean; recur ] else [ recur; clean ] in
+  restore sc snap;
+  Ast.Sfor
+    ( Ast.Sdecl (Ast.Tint, iv, Ast.Eint 0),
+      Ast.Ebin ("<", Ast.Evar iv, Ast.Eint trip),
+      Ast.Sassign (iv, Ast.Ebin ("+", Ast.Evar iv, Ast.Eint 1)),
+      body )
+
+let rec gen_stmt st c sc ~loop_depth : Ast.stmt list =
   sc.budget <- sc.budget - 1;
   let want_loop =
     loop_depth < c.max_loop_depth && sc.budget > 1
     && chance st (if loop_depth = 0 then 0.35 else 0.45)
   in
-  if want_loop then gen_loop st c sc ~loop_depth
+  if want_loop then [ gen_loop st c sc ~loop_depth ]
   else
-    match rint st 10 with
-    | 0 | 1 | 2 -> gen_store st c sc
-    | 3 | 4 -> gen_decl st c sc
+    match rint st 12 with
+    | 0 | 1 | 2 -> [ gen_store st c sc ]
+    | 3 | 4 -> [ gen_decl st c sc ]
     | 5 -> (
       match gen_assign st c sc with
-      | Some s -> s
-      | None -> gen_decl st c sc)
-    | 6 -> gen_call st c sc
-    | 7 when sc.budget > 1 -> gen_if st c sc ~loop_depth
+      | Some s -> [ s ]
+      | None -> [ gen_decl st c sc ])
+    | 6 -> [ gen_call st c sc ]
+    | 7 when sc.budget > 1 -> [ gen_if st c sc ~loop_depth ]
+    | 8 -> gen_dse_pair st c sc
+    | 9 when loop_depth < c.max_loop_depth && sc.budget > 1 ->
+      [ gen_dist_loop st c sc ]
     | _ ->
       (* guarded store: conditional dependence for the framework *)
-      Ast.Sif (gen_bexpr st c sc 1, [ gen_store st c sc ], [])
+      [ Ast.Sif (gen_bexpr st c sc 1, [ gen_store st c sc ], []) ]
 
 and gen_if st c sc ~loop_depth : Ast.stmt =
   let cond = gen_bexpr st c sc 2 in
@@ -390,7 +462,7 @@ and gen_loop st c sc ~loop_depth : Ast.stmt =
 and gen_block st c sc ~loop_depth n : Ast.stmt list =
   let rec go acc k =
     if k = 0 || sc.budget <= 0 then List.rev acc
-    else go (gen_stmt st c sc ~loop_depth :: acc) (k - 1)
+    else go (List.rev_append (gen_stmt st c sc ~loop_depth) acc) (k - 1)
   in
   go [] n
 
@@ -402,7 +474,7 @@ let generate ?(config = default_config) ~seed () : Ast.fdecl =
   in
   let rec top acc =
     if sc.budget <= 0 then List.rev acc
-    else top (gen_stmt st config sc ~loop_depth:0 :: acc)
+    else top (List.rev_append (gen_stmt st config sc ~loop_depth:0) acc)
   in
   let body = top [] in
   (* a program with no store has no observable memory behaviour *)

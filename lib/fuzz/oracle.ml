@@ -82,6 +82,16 @@ let pipelines :
     ( "rle-static",
       fun ~on_pass f ->
         ignore (P.Pipelines.rle_pipeline ~versioning:false ~on_pass f) );
+    ("dse", fun ~on_pass f -> ignore (P.Pipelines.dse_pipeline ~on_pass f));
+    ( "dse-static",
+      fun ~on_pass f ->
+        ignore (P.Pipelines.dse_pipeline ~versioning:false ~on_pass f) );
+    ( "distribute",
+      fun ~on_pass f -> ignore (P.Pipelines.distribute_pipeline ~on_pass f) );
+    ( "distribute-static",
+      fun ~on_pass f ->
+        ignore (P.Pipelines.distribute_pipeline ~versioning:false ~on_pass f) );
+    ("combined", fun ~on_pass f -> ignore (P.Pipelines.combined ~on_pass f));
   ]
 
 let pipeline_names = List.map fst pipelines

@@ -36,6 +36,10 @@ type pass_stats = {
   mutable loops_vectorized : int;
   mutable rle_eliminated : int;
   mutable rle_groups : int;
+  mutable dse_forwarded : int;
+  mutable dse_killed : int;
+  mutable distribute_split : int;
+  mutable distribute_pieces : int;
 }
 
 let new_pass_stats () =
@@ -48,6 +52,10 @@ let new_pass_stats () =
     loops_vectorized = 0;
     rle_eliminated = 0;
     rle_groups = 0;
+    dse_forwarded = 0;
+    dse_killed = 0;
+    distribute_split = 0;
+    distribute_pieces = 0;
   }
 
 (* ------------------------------------------------------------- stages *)
@@ -137,6 +145,27 @@ let st_rle ~versioning f stats : stage =
       Tm.incr ~by:rs.Rle.groups_found "pass.rle.groups";
       [ ("eliminated", rs.Rle.loads_eliminated); ("groups", rs.Rle.groups_found) ] )
 
+let st_dse ~versioning f stats : stage =
+  ( "dse",
+    fun () ->
+      let ds = Dse.run ~versioning f in
+      stats.dse_forwarded <- stats.dse_forwarded + ds.Dse.forwarded;
+      stats.dse_killed <- stats.dse_killed + ds.Dse.killed;
+      Tm.incr ~by:ds.Dse.forwarded "pass.dse.forwarded";
+      Tm.incr ~by:ds.Dse.killed "pass.dse.killed";
+      Tm.incr ~by:ds.Dse.versioned "pass.dse.versioned";
+      [ ("forwarded", ds.Dse.forwarded); ("killed", ds.Dse.killed) ] )
+
+let st_distribute ~versioning f stats : stage =
+  ( "distribute",
+    fun () ->
+      let ds = Distribute.run ~versioning f in
+      stats.distribute_split <- stats.distribute_split + ds.Distribute.loops_split;
+      stats.distribute_pieces <- stats.distribute_pieces + ds.Distribute.pieces;
+      Tm.incr ~by:ds.Distribute.loops_split "pass.distribute.split";
+      Tm.incr ~by:ds.Distribute.pieces "pass.distribute.pieces";
+      [ ("split", ds.Distribute.loops_split); ("pieces", ds.Distribute.pieces) ] )
+
 (* The scalar sub-pipeline as a plain function, for harness code that
    composes custom configurations (e.g. the condopt ablation). *)
 let scalar_passes ?on_pass f stats = run_stages ?on_pass f (scalar_stages f stats)
@@ -222,4 +251,85 @@ let rle_baseline ?on_pass (f : Ir.func) : pass_stats =
       run_stages ?on_pass f
         ([ st_constfold f; st_licm f stats; st_gvn f stats ]
         @ cleanup_stages f stats);
+      stats)
+
+(* ----------------------------------------- DSE / distribution pipelines *)
+
+(* Versioned dead-store elimination: scalar pipeline first (so trivially
+   dead code doesn't inflate the candidate set), then DSE and the scalar
+   passes again to harvest what forwarding exposed.  With [versioning =
+   false] only statically provable stores are eliminated. *)
+let dse_pipeline ?(versioning = true) ?on_pass (f : Ir.func) : pass_stats =
+  Tm.time "pipeline.dse" (fun () ->
+      Tr.with_span ~cat:"pipeline" "dse" @@ fun () ->
+      let pre = new_pass_stats () in
+      run_stages ?on_pass f (scalar_stages f pre);
+      let stats = new_pass_stats () in
+      run_stages ?on_pass f
+        ([ st_dse ~versioning f stats; st_constfold f ]
+        @ [ st_licm f stats; st_gvn f stats ]
+        @ cleanup_stages f stats);
+      stats)
+
+(* Versioned loop distribution feeding the SLP vectorizer: distribution
+   splits the versionable recurrence away, then unroll+SLP vectorize the
+   clean sub-loop.  The packer consults versioning iff the distributor
+   does, so [versioning = false] is the fully static baseline. *)
+let distribute_pipeline ?(vl = 4) ?(versioning = true) ?on_pass (f : Ir.func)
+    : pass_stats =
+  Tm.time "pipeline.distribute" (fun () ->
+      Tr.with_span ~cat:"pipeline" "distribute" @@ fun () ->
+      let pre = new_pass_stats () in
+      run_stages ?on_pass f (scalar_stages f pre);
+      let stats = new_pass_stats () in
+      let config =
+        if versioning then
+          {
+            Slp.default_config with
+            vl;
+            condopt =
+              { Fgv_versioning.Condopt.default_config with promotion = true };
+          }
+        else { Slp.static_config with vl }
+      in
+      run_stages ?on_pass f
+        ([
+           st_distribute ~versioning f stats;
+           st_ifconv f;
+           st_unroll ~factor:vl f;
+           st_constfold f;
+           st_slp ~config f stats;
+         ]
+        @ scalar_stages f stats);
+      stats)
+
+(* Every versioning client in one pipeline: DSE, then distribution, then
+   SLP — the "all clients" configuration the fuzz oracle cross-checks. *)
+let combined ?(vl = 4) ?(versioning = true) ?on_pass (f : Ir.func) :
+    pass_stats =
+  Tm.time "pipeline.combined" (fun () ->
+      Tr.with_span ~cat:"pipeline" "combined" @@ fun () ->
+      let pre = new_pass_stats () in
+      run_stages ?on_pass f (scalar_stages f pre);
+      let stats = new_pass_stats () in
+      let config =
+        if versioning then
+          {
+            Slp.default_config with
+            vl;
+            condopt =
+              { Fgv_versioning.Condopt.default_config with promotion = true };
+          }
+        else { Slp.static_config with vl }
+      in
+      run_stages ?on_pass f
+        ([
+           st_dse ~versioning f stats;
+           st_distribute ~versioning f stats;
+           st_ifconv f;
+           st_unroll ~factor:vl f;
+           st_constfold f;
+           st_slp ~config f stats;
+         ]
+        @ scalar_stages f stats);
       stats)

@@ -74,80 +74,75 @@ let leader_of (f : Ir.func) (group : Ir.value_id list) : Ir.value_id option =
     else None
   | [] -> None
 
+(* RLE expressed as a wish spec (DESIGN §13): each load group wishes
+   its members pairwise independent; granted groups collapse onto the
+   leader.  The redirect target must go through [subst] — the leader's
+   outermost versioning phi is the value valid on every path, since the
+   raw leader's predicate was narrowed by the checks.  When
+   materialization failed ([ok = false]), only the groups that were
+   independent *without* versioning may be collapsed. *)
 let run_region ?(versioning = true) (f : Ir.func) (region : Ir.region)
     (stats : stats) : unit =
-  let scev = Scev.create f in
-  let session =
-    V.Api.create
-      ~condopt:{ V.Condopt.default_config with promotion = true }
-      f region
+  let spec =
+    {
+      V.Wish.sp_client = "rle";
+      sp_loop_upgrade = true;
+      sp_enumerate =
+        (fun s ->
+          List.filter_map
+            (fun group ->
+              match leader_of f group with
+              | None -> None
+              | Some leader -> Some (leader, group))
+            (load_groups f s.V.Api.s_scev s.V.Api.s_region));
+      sp_want =
+        (fun _ (_, group) ->
+          V.Wish.Independent (List.map (fun v -> Ir.NI v) group));
+      sp_describe =
+        (fun (leader, group) ->
+          Printf.sprintf "independence of %d loads at %s" (List.length group)
+            (Ir.value_name f leader));
+      sp_apply =
+        (fun s ~ok ~subst decided ->
+          let f = s.V.Api.s_func in
+          let users = Ir.compute_users f in
+          List.iter
+            (fun ((leader, group), o) ->
+              stats.groups_found <- stats.groups_found + 1;
+              let collapse =
+                match o with
+                | V.Wish.Granted_static -> true
+                | V.Wish.Granted_versioned { conds } ->
+                  if conds > 0 then
+                    stats.groups_versioned <- stats.groups_versioned + 1;
+                  ok
+                | V.Wish.Denied ->
+                  stats.groups_infeasible <- stats.groups_infeasible + 1;
+                  false
+              in
+              if collapse then begin
+                let target = subst leader in
+                List.iter
+                  (fun l ->
+                    if l <> leader then begin
+                      List.iter
+                        (fun u ->
+                          if u <> target then
+                            Ir.replace_uses_in_inst f ~user:u ~old_v:l
+                              ~new_v:target)
+                        (users l);
+                      stats.loads_eliminated <- stats.loads_eliminated + 1
+                    end)
+                  group
+              end)
+            decided);
+    }
   in
-  let groups =
-    List.filter_map
-      (fun group ->
-        match leader_of f group with
-        | None -> None
-        | Some leader -> Some (leader, group))
-      (load_groups f scev region)
-  in
-  let accepted = ref [] in
-  List.iter
-    (fun (leader, group) ->
-      stats.groups_found <- stats.groups_found + 1;
-      let nodes = List.map (fun v -> Ir.NI v) group in
-      if V.Api.already_independent session nodes then
-        accepted := (leader, group, true) :: !accepted
-      else if versioning then begin
-        match V.Api.request_independence session nodes with
-        | Some plan when not (V.Plan.is_trivial plan) ->
-          stats.groups_versioned <- stats.groups_versioned + 1;
-          accepted := (leader, group, false) :: !accepted
-        | Some _ -> accepted := (leader, group, false) :: !accepted
-        | None -> stats.groups_infeasible <- stats.groups_infeasible + 1
-      end
-      else stats.groups_infeasible <- stats.groups_infeasible + 1)
-    groups;
-  let materialized = V.Api.materialize ~loop_upgrade:true session in
-  (* Redirect the non-leader loads to the leader.  The redirect target
-     must be the leader's outermost versioning phi (valid on every path):
-     the raw leader's predicate was narrowed by the checks.  When
-     materialization failed, only the groups that were independent
-     *without* versioning may be collapsed. *)
-  let users = Ir.compute_users f in
-  List.iter
-    (fun (leader, group, was_static) ->
-      match materialized, was_static with
-      | None, false -> ()
-      | maybe_subst, _ ->
-        let target =
-          match maybe_subst with
-          | Some subst -> subst leader
-          | None -> leader
-        in
-        List.iter
-          (fun l ->
-            if l <> leader then begin
-              List.iter
-                (fun u ->
-                  if u <> target then
-                    Ir.replace_uses_in_inst f ~user:u ~old_v:l ~new_v:target)
-                (users l);
-              stats.loads_eliminated <- stats.loads_eliminated + 1
-            end)
-          group)
-    !accepted
+  ignore (V.Wish.run_spec ~versioning spec f region)
 
 let run ?(versioning = true) (f : Ir.func) : stats =
   let stats = new_stats () in
-  let rec regions items acc =
-    List.fold_left
-      (fun acc item ->
-        match item with
-        | Ir.I _ -> acc
-        | Ir.L lid -> regions (Ir.loop f lid).body (Ir.Rloop lid :: acc))
-      acc items
-  in
   List.iter
     (fun region -> run_region ~versioning f region stats)
-    (regions f.Ir.fbody [ Ir.Rtop ]);
+    (V.Wish.all_regions f);
   stats

@@ -50,6 +50,11 @@ type remark =
   | Pass_skipped of { pass : string; reason : string }
   | Materialize_aborted of { reason : string }
   | Graph_sparsity of { nodes : int; edges : int; pairs_pruned : int }
+  | Wish_granted of { client : string; wanted : string; conds : int;
+                      static : bool }
+  | Wish_denied of { client : string; wanted : string }
+  | Store_eliminated of { forwarded : int; killed : int }
+  | Loop_distributed of { pieces : int; conds : int }
 
 type span_entry =
   | Sbegin of {
@@ -205,6 +210,19 @@ let slug_and_payload :
     ( "graph-sparsity",
       [ ("nodes", Json.Int nodes); ("edges", Json.Int edges);
         ("pairs_pruned", Json.Int pairs_pruned) ] )
+  | Wish_granted { client; wanted; conds; static } ->
+    ( "wish-granted",
+      [ ("client", Json.String client); ("wanted", Json.String wanted);
+        ("conds", Json.Int conds); ("static", Json.Bool static) ] )
+  | Wish_denied { client; wanted } ->
+    ( "wish-denied",
+      [ ("client", Json.String client); ("wanted", Json.String wanted) ] )
+  | Store_eliminated { forwarded; killed } ->
+    ( "store-eliminated",
+      [ ("forwarded", Json.Int forwarded); ("killed", Json.Int killed) ] )
+  | Loop_distributed { pieces; conds } ->
+    ( "loop-distributed",
+      [ ("pieces", Json.Int pieces); ("conds", Json.Int conds) ] )
 
 let remark_json (a, r) : Json.t =
   let slug, payload = slug_and_payload r in
@@ -266,6 +284,24 @@ let remark_message = function
       "dependence graph: %d node(s), %d edge(s), %d candidate pair(s) pruned \
        without computing a condition"
       nodes edges pairs_pruned
+  | Wish_granted { client; wanted; conds; static } ->
+    if static then
+      Printf.sprintf "%s: wish for %s already holds (no checks needed)" client
+        wanted
+    else
+      Printf.sprintf "%s: wish for %s granted under %d run-time condition(s)"
+        client wanted conds
+  | Wish_denied { client; wanted } ->
+    Printf.sprintf "%s: wish for %s denied (dependence not versionable)"
+      client wanted
+  | Store_eliminated { forwarded; killed } ->
+    Printf.sprintf "forwarded %d stored value(s) to loads, killed %d dead \
+                    store(s)"
+      forwarded killed
+  | Loop_distributed { pieces; conds } ->
+    Printf.sprintf
+      "loop distributed into %d sub-loop(s) under %d run-time condition(s)"
+      pieces conds
 
 let remark_text (a, r) =
   let loc =

@@ -92,6 +92,20 @@ type remark =
       (** a region's dependence graph was built sparsely: of the
           all-pairs candidate space, [pairs_pruned] pairs were pruned
           without computing a dependence condition (DESIGN §12) *)
+  | Wish_granted of { client : string; wanted : string; conds : int;
+                      static : bool }
+      (** a wish-spec client's candidate was granted: [static] means the
+          wished independence already held (no run-time conditions);
+          otherwise a plan of [conds] conditions was recorded *)
+  | Wish_denied of { client : string; wanted : string }
+      (** a wish-spec client's candidate could not be granted: the
+          wished-away dependence is not versionable *)
+  | Store_eliminated of { forwarded : int; killed : int }
+      (** DSE resolved stores in a region: [forwarded] loads now read
+          the stored value directly, [killed] dead stores were removed *)
+  | Loop_distributed of { pieces : int; conds : int }
+      (** a loop was split into [pieces] independently schedulable
+          sub-loops under [conds] run-time conditions *)
 
 val remark : anchor -> remark -> unit
 (** Append to the calling domain's remark stream (no-op when remarks

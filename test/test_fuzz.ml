@@ -133,6 +133,36 @@ let test_generator_distribution () =
       "expected >= 30%% of size-20 programs to contain a nested loop, got %d/%d"
       !nested total
 
+(* The store-heavy and distribution-shaped generator arms must actually
+   reach the DSE and distribution clients — not just parse.  Lenient
+   floors: a generator regression that starves the clients trips this
+   long before the oracle stops covering them. *)
+let test_generator_feeds_clients () =
+  let total = 100 in
+  let forwarded = ref 0 and killed = ref 0 in
+  let split = ref 0 and pieces = ref 0 in
+  for seed = 0 to total - 1 do
+    let cfg = G.vary G.default_config ~seed in
+    let src = G.render (G.generate ~config:cfg ~seed ()) in
+    let f = Lower_ast.compile_no_restrict src in
+    let st = Fgv_passes.Pipelines.dse_pipeline f in
+    forwarded := !forwarded + st.Fgv_passes.Pipelines.dse_forwarded;
+    killed := !killed + st.Fgv_passes.Pipelines.dse_killed;
+    let g = Lower_ast.compile_no_restrict src in
+    let st = Fgv_passes.Pipelines.distribute_pipeline g in
+    split := !split + st.Fgv_passes.Pipelines.distribute_split;
+    pieces := !pieces + st.Fgv_passes.Pipelines.distribute_pieces
+  done;
+  let expect name floor got =
+    if got < floor then
+      Alcotest.failf "expected >= %d %s across %d seeds, got %d" floor name
+        total got
+  in
+  expect "forwarded loads" 20 !forwarded;
+  expect "killed stores" 20 !killed;
+  expect "distributed loops" 15 !split;
+  expect "distribution pieces" 30 !pieces
+
 (* ----------------------------------------------------------- round-trip *)
 
 (* [G.render] must print *parseable* mini-C that lowers to the same
@@ -209,6 +239,8 @@ let suite =
       test_shrinker_minimizes;
     Alcotest.test_case "generator emits nested loops" `Quick
       test_generator_distribution;
+    Alcotest.test_case "generator feeds the DSE/distribution clients" `Quick
+      test_generator_feeds_clients;
     Alcotest.test_case "render/parse round-trip" `Quick test_render_roundtrip;
     Alcotest.test_case "undef-address traps are typed" `Quick
       test_undef_access_typed;

@@ -14,6 +14,7 @@ let () =
       ("passes", Test_passes.suite);
       ("analysis", Test_analysis.suite);
       ("sparse", Test_sparse.suite);
+      ("clients", Test_clients.suite);
       ("random", Test_random.suite);
       ("fuzz", Test_fuzz.suite);
       ("condopt", Test_condopt.suite);

@@ -291,6 +291,126 @@ let test_licm_hoists () =
   let out = run_pssa f ~args:[ VInt 0; VInt 5; VFloat 3.0 ] ~mem:(mem_for 16) in
   Alcotest.(check (float 1e-9)) "a[4]" 9.0 (float_at out.memory 4)
 
+(* -------------------------------------------- LICM x predicated code *)
+
+(* After if-conversion the branch bodies live in the loop as predicated
+   instructions; LICM must still hoist the invariant ones (predicate
+   included) and leave the rest alone. *)
+
+let test_licm_hoists_ifconverted_invariant () =
+  let f =
+    compile
+      {|
+      kernel lp(float* a, float* b, int n, float x) {
+        for (int i = 0; i < n; i = i + 1) {
+          if (x > 0.0) { a[i] = x * x; } else { a[i] = b[i]; }
+        }
+      }
+    |}
+  in
+  let converted = P.Ifconv.run f in
+  Alcotest.(check bool) "if-converted" true (converted > 0);
+  let n = P.Licm.run f in
+  (* both the compare and the predicated multiply are invariant; the
+     multiply's predicate literal is the hoisted compare, so it goes out
+     on the second sweep *)
+  Alcotest.(check bool) "hoisted compare and multiply" true (n >= 2);
+  (match Verifier.verify_or_message f with
+  | None -> ()
+  | Some m -> Alcotest.failf "LICM after ifconv broke IR: %s" m);
+  let out =
+    run_pssa f ~args:[ VInt 0; VInt 8; VInt 5; VFloat 3.0 ] ~mem:(mem_for 16)
+  in
+  Alcotest.(check (float 1e-9)) "then-branch a[4]" 9.0 (float_at out.memory 4);
+  let out =
+    run_pssa f
+      ~args:[ VInt 0; VInt 8; VInt 5; VFloat (-1.0) ]
+      ~mem:(float_mem 16 (fun i -> float_of_int i))
+  in
+  Alcotest.(check (float 1e-9)) "else-branch a[3]" 11.0 (float_at out.memory 3)
+
+let rec items_contain_kind f pred items =
+  List.exists
+    (fun it ->
+      match it with
+      | Ir.I v -> pred (Ir.inst f v).Ir.kind
+      | Ir.L lid -> items_contain_kind f pred (Ir.loop f lid).Ir.body)
+    items
+
+let loops_of f = List.filter (function Ir.L _ -> true | _ -> false) f.Ir.fbody
+
+let test_licm_variant_predicate_needs_speculation () =
+  (* the multiply's data operands are invariant but its predicate is
+     computed from a[i] inside the loop; predicate literals count as
+     operands, so LICM alone must leave it in place.  If-conversion is
+     the missing speculation step: once the predicate is dropped, the
+     same multiply hoists. *)
+  let src =
+    {|
+      kernel lv(float* a, float* b, int n, float x) {
+        for (int i = 0; i < n; i = i + 1) {
+          if (a[i] > 0.0) { b[i] = x * x; }
+        }
+      }
+    |}
+  in
+  let is_fmul = function Ir.Binop (Ir.Fmul, _, _) -> true | _ -> false in
+  let f = compile src in
+  ignore (P.Licm.run f);
+  Alcotest.(check bool)
+    "LICM alone keeps the predicated multiply in-loop" true
+    (items_contain_kind f is_fmul (loops_of f));
+  let g = compile src in
+  Alcotest.(check bool) "if-converted" true (P.Ifconv.run g > 0);
+  Alcotest.(check bool) "speculated multiply hoists" true (P.Licm.run g > 0);
+  Alcotest.(check bool)
+    "no multiply left in the loop" false
+    (items_contain_kind g is_fmul (loops_of g));
+  (match Verifier.verify_or_message g with
+  | None -> ()
+  | Some m -> Alcotest.failf "ifconv+LICM broke IR: %s" m);
+  (* semantics: a alternates sign, so the masked store must only write
+     the positive lanes *)
+  let mem = float_mem 16 (fun i -> if i mod 2 = 0 then 1.0 else -1.0) in
+  let out = run_pssa g ~args:[ VInt 0; VInt 8; VInt 4; VFloat 3.0 ] ~mem in
+  Alcotest.(check (float 1e-9)) "b[2] written" 9.0 (float_at out.memory 10);
+  Alcotest.(check (float 1e-9)) "b[3] masked" (-1.0) (float_at out.memory 11)
+
+let test_licm_keeps_guarded_division () =
+  (* invariant integer division under an if-converted guard: hoisting it
+     would evaluate 8/k whenever the loop runs, trapping on k = 0 even
+     though the guard rules that out — it must stay predicated inside *)
+  let f =
+    compile
+      {|
+      kernel ld(float* a, float* b, int n, int k) {
+        for (int i = 0; i < n; i = i + 1) {
+          if (k > 0) { int q = 8 / k; a[i] = b[q]; }
+        }
+      }
+    |}
+  in
+  Alcotest.(check int) "ifconv refuses the trapping body" 0 (P.Ifconv.run f);
+  ignore (P.Licm.run f);
+  Alcotest.(check bool)
+    "division still inside the loop" true
+    (items_contain_kind f
+       (function Ir.Binop (Ir.Div, _, _) -> true | _ -> false)
+       (loops_of f));
+  (* k = 0: the guard is false, the predicated division must not trap *)
+  let mem = float_mem 16 (fun i -> float_of_int i) in
+  let out = run_pssa f ~args:[ VInt 0; VInt 8; VInt 4; VInt 0 ] ~mem in
+  Alcotest.(check (float 1e-9)) "a[2] untouched when k=0" 2.0
+    (float_at out.memory 2);
+  let out =
+    run_pssa f
+      ~args:[ VInt 0; VInt 8; VInt 4; VInt 2 ]
+      ~mem:(float_mem 16 (fun i -> float_of_int i))
+  in
+  (* q = 4, b = base 8: a[i] = b[4] = 12.0 *)
+  Alcotest.(check (float 1e-9)) "a[2] = b[4] when k=2" 12.0
+    (float_at out.memory 2)
+
 let suite =
   [
     Alcotest.test_case "pipelines preserve semantics" `Quick
@@ -312,4 +432,10 @@ let suite =
     Alcotest.test_case "constant folding" `Quick test_constfold;
     Alcotest.test_case "GVN" `Quick test_gvn_dedups;
     Alcotest.test_case "LICM" `Quick test_licm_hoists;
+    Alcotest.test_case "LICM hoists if-converted invariants" `Quick
+      test_licm_hoists_ifconverted_invariant;
+    Alcotest.test_case "LICM needs ifconv to speculate variant predicates"
+      `Quick test_licm_variant_predicate_needs_speculation;
+    Alcotest.test_case "LICM keeps guarded division in-loop" `Quick
+      test_licm_keeps_guarded_division;
   ]

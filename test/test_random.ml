@@ -89,6 +89,20 @@ let prop_svv = pipeline_prop "sv+versioning pipeline on random programs" "sv+v"
 
 let prop_rle = pipeline_prop "rle pipeline on random programs" "rle"
 
+(* The wish-spec clients: store forwarding/elimination, loop
+   distribution, and the combined pipeline that stacks both under SLP.
+   check_pipeline gives memory + impure-trace equivalence against the
+   unoptimized baseline across random layouts, and runs the Verifier on
+   every per-pass intermediate. *)
+let prop_dse = pipeline_prop ~count:200 "dse pipeline on random programs" "dse"
+
+let prop_distribute =
+  pipeline_prop ~count:200 "distribute pipeline on random programs" "distribute"
+
+let prop_combined =
+  pipeline_prop ~count:200 "combined clients pipeline on random programs"
+    "combined"
+
 (* Property 2b: behaviour preservation must hold regardless of the
    condition-promotion setting — promotion only widens checks (more
    fallback executions), never changes what either version computes. *)
@@ -121,6 +135,9 @@ let suite =
     QCheck_alcotest.to_alcotest prop_o3;
     QCheck_alcotest.to_alcotest prop_svv;
     QCheck_alcotest.to_alcotest prop_rle;
+    QCheck_alcotest.to_alcotest prop_dse;
+    QCheck_alcotest.to_alcotest prop_distribute;
+    QCheck_alcotest.to_alcotest prop_combined;
     QCheck_alcotest.to_alcotest prop_promotion_on;
     QCheck_alcotest.to_alcotest prop_promotion_off;
     QCheck_alcotest.to_alcotest prop_restrict_svv;
