@@ -250,6 +250,78 @@ let run_clients () =
          ("counters", counters_json delta);
        ])
 
+(* ------------------------------------------------- native wall-clock *)
+
+(* The native lane measures real time, so everything wall-derived goes
+   under "timing" keys (stripped by the CI determinism diff); the
+   deterministic fields — kernel set, model speedups, checksum verdicts
+   — are what CI pins.  Without a C compiler the figure degrades to a
+   skipped marker instead of failing the whole bench run. *)
+let run_native () =
+  Tr.with_span ~cat:"figure" "native" @@ fun () ->
+  if not (Fgv_bench.Native_rows.available ()) then begin
+    section "Native wall-clock" "skipped: no C compiler on PATH\n";
+    add_figure "native" (J.Assoc [ ("skipped", J.Bool true); ("rows", J.List []) ])
+  end
+  else begin
+    let module NR = Fgv_bench.Native_rows in
+    let rows, delta =
+      Tm.capture (fun () -> NR.rows ~jobs:!jobs ())
+    in
+    section "Native wall-clock (cc -O2 -march=native)" (NR.table_of_rows rows);
+    let geo fig f =
+      let sel = List.filter (fun (r : NR.row) -> r.NR.nr_figure = fig) rows in
+      if sel = [] then J.Null else J.Float (geomean f sel)
+    in
+    add_figure "native"
+      (J.Assoc
+         [
+           ("skipped", J.Bool false);
+           ( "rows",
+             J.List
+               (List.map
+                  (fun (r : NR.row) ->
+                    J.Assoc
+                      [
+                        ("figure", J.String r.NR.nr_figure);
+                        ("kernel", J.String r.NR.nr_name);
+                        ("model_speedup", J.Float r.NR.nr_model_speedup);
+                        ("checksum_ok", J.Bool r.NR.nr_checksum_ok);
+                        ( "timing",
+                          J.Assoc
+                            [
+                              ("static_ns", J.Float r.NR.nr_static_ns);
+                              ("versioned_ns", J.Float r.NR.nr_versioned_ns);
+                              ( "native_speedup",
+                                J.Float (NR.native_speedup r) );
+                              ("static_reps", J.Int r.NR.nr_static_reps);
+                              ( "versioned_reps",
+                                J.Int r.NR.nr_versioned_reps );
+                            ] );
+                      ])
+                  rows) );
+           ( "timing",
+             J.Assoc
+               [
+                 ( "geomean_native_speedup",
+                   J.Assoc
+                     [
+                       ("fig19", geo "fig19" NR.native_speedup);
+                       ("fig16", geo "fig16" NR.native_speedup);
+                       ("fig22", geo "fig22" NR.native_speedup);
+                     ] );
+               ] );
+           ( "geomean_model_speedup",
+             J.Assoc
+               [
+                 ("fig19", geo "fig19" (fun r -> r.NR.nr_model_speedup));
+                 ("fig16", geo "fig16" (fun r -> r.NR.nr_model_speedup));
+                 ("fig22", geo "fig22" (fun r -> r.NR.nr_model_speedup));
+               ] );
+           ("counters", counters_json delta);
+         ])
+  end
+
 (* ----------------------------------------------- compile-time figures *)
 
 (* The compile-time lane times the compiler itself, not the generated
@@ -408,7 +480,7 @@ let write_json file =
   let doc =
     J.Assoc
       [
-        ("schema_version", J.Int 3);
+        ("schema_version", J.Int 4);
         ("suite", J.String "fgv-bench");
         ("jobs", J.Int !jobs);
         ("figures", J.Assoc (List.rev !json_figures));
@@ -426,8 +498,8 @@ let write_json file =
 let usage () =
   Printf.eprintf
     "usage: main.exe [fig16|fig19|fig22|clients|s258|ablation-mincut|\
-     ablation-condopt|compiletime|wallclock|all]... [--json FILE] [--jobs N] \
-     [--trace FILE]\n";
+     ablation-condopt|compiletime|native|wallclock|all]... [--json FILE] \
+     [--jobs N] [--trace FILE]\n";
   exit 1
 
 let () =
@@ -479,6 +551,7 @@ let () =
     | "ablation-mincut" -> run_a1 ()
     | "ablation-condopt" -> run_a2 ()
     | "compiletime" -> run_compiletime ()
+    | "native" -> run_native ()
     | "wallclock" -> wallclock ()
     | "all" ->
       run_fig19 ();
@@ -489,6 +562,7 @@ let () =
       run_a1 ();
       run_a2 ();
       run_compiletime ();
+      run_native ();
       section "Wall-clock sanity (Bechamel)" "";
       wallclock ()
     | other ->

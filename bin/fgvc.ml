@@ -35,11 +35,12 @@ module P = Fgv_passes
 module F = Fgv_fuzz
 module Tm = Fgv_support.Telemetry
 module Tr = Fgv_support.Trace
+module N = Fgv_backend.Native
 module Udiff = Fgv_support.Udiff
 
 (* Schema versions of every machine-readable output this tool family
    emits; printed by --version so consumers can pin against them. *)
-let version_string = "fgv 0.5 (bench-json=3 fuzz-report=2 trace=1)"
+let version_string = "fgv 0.6 (bench-json=4 fuzz-report=3 trace=1)"
 
 let pipelines :
     (string * (?on_pass:(string -> Ir.func -> unit) -> Ir.func -> unit)) list =
@@ -128,7 +129,7 @@ let snapshot_hook dir (f0 : Ir.func) : string -> Ir.func -> unit =
 
 (* ---------------------------------------------------------- fuzz mode *)
 
-let run_fuzz n seed pipeline report_file stats jobs finalize =
+let run_fuzz n seed pipeline report_file stats jobs native finalize =
   let pipelines =
     if pipeline = "none" then F.Oracle.pipeline_names
     else if List.mem_assoc pipeline F.Oracle.pipelines then [ pipeline ]
@@ -141,7 +142,13 @@ let run_fuzz n seed pipeline report_file stats jobs finalize =
   let jobs =
     if jobs > 0 then jobs else Fgv_support.Pool.default_jobs ()
   in
-  let outcome = F.Campaign.run ~pipelines ~jobs ~n ~seed () in
+  if native && not (N.available ()) then begin
+    Printf.eprintf
+      "fgvc: --fuzz-native needs a C compiler (install cc/gcc/clang or set \
+       FGV_CC)\n";
+    exit 2
+  end;
+  let outcome = F.Campaign.run ~native ~pipelines ~jobs ~n ~seed () in
   let report = F.Campaign.report_json outcome in
   let oc = open_out report_file in
   output_string oc (Tm.json_to_string report);
@@ -150,10 +157,12 @@ let run_fuzz n seed pipeline report_file stats jobs finalize =
   (match outcome.F.Campaign.c_failure with
   | None ->
     Printf.printf
-      "fuzz: %d programs x %d pipelines, %d oracle runs, 0 mismatches \
-       (report: %s)\n"
+      "fuzz: %d programs x %d pipelines, %d oracle runs, %d native runs, 0 \
+       mismatches (report: %s)\n"
       outcome.F.Campaign.c_programs (List.length pipelines)
-      (Tm.get "fuzz.oracle_runs") report_file
+      (Tm.get "fuzz.oracle_runs")
+      (Tm.get "fuzz.native_runs")
+      report_file
   | Some f ->
     let m = f.F.Campaign.f_mismatch in
     Printf.printf
@@ -170,12 +179,87 @@ let run_fuzz n seed pipeline report_file stats jobs finalize =
   else if outcome.F.Campaign.c_failure <> None then 4
   else 0
 
+(* --------------------------------------------------- native execution *)
+
+(* [--run-native]: lower to the CFG, compile the checked-mode C with the
+   system toolchain, run it, and cross-check class + final memory +
+   impure-call trace against the CFG interpreter — the same differential
+   the fuzz oracle applies, on the user's kernel.  On agreement, also
+   compile the fast configuration and report measured ns/run.  A
+   disagreement is a compiler bug and exits 5. *)
+let run_native_differential (f : Ir.func) ~(argv : Value.t list) ~fresh_mem =
+  if not (N.available ()) then begin
+    Printf.eprintf
+      "fgvc: --run-native needs a C compiler (install cc/gcc/clang or set \
+       FGV_CC)\n";
+    exit 2
+  end;
+  let prog = Fgv_cfg.Lower.lower f in
+  let iclass, iout =
+    match Fgv_cfg.Cinterp.run prog ~args:argv ~mem:(fresh_mem ()) with
+    | out -> (N.NOk, Some out)
+    | exception Value.Trap _ -> (N.NTrap, None)
+    | exception Value.Undef_access op -> (N.NUndef op, None)
+    | exception Fgv_cfg.Cinterp.Out_of_fuel -> (N.NFuel, None)
+  in
+  let obs =
+    match N.compile_checked prog ~mem:(fresh_mem ()) with
+    | Error e ->
+      Printf.eprintf "fgvc: native compile failed: %s\n" e;
+      exit 5
+    | Ok c ->
+      let res = N.run_checked c ~args:argv in
+      N.release c;
+      (match res with
+      | Error e ->
+        Printf.eprintf "fgvc: native run failed: %s\n" e;
+        exit 5
+      | Ok obs -> obs)
+  in
+  let class_ok =
+    match (iclass, obs.N.n_class) with
+    | N.NOk, N.NOk | N.NTrap, N.NTrap | N.NFuel, N.NFuel -> true
+    | N.NUndef a, N.NUndef b -> a = b
+    | _ -> false
+  in
+  (* memory and trace are compared on a normal finish only, matching the
+     fuzz oracle's observation contract *)
+  let mem_ok, trace_ok =
+    match iout with
+    | None -> (true, true)
+    | Some out ->
+      ( Array.length obs.N.n_mem = Array.length out.Fgv_cfg.Cinterp.memory
+        && Array.for_all2 Value.equal obs.N.n_mem out.Fgv_cfg.Cinterp.memory,
+        obs.N.n_trace = out.Fgv_cfg.Cinterp.call_trace )
+  in
+  if not (class_ok && mem_ok && trace_ok) then begin
+    Printf.printf
+      "native differential: MISMATCH (class %s vs %s, memory %s, trace %s)\n"
+      (N.nclass_string obs.N.n_class)
+      (N.nclass_string iclass)
+      (if mem_ok then "agrees" else "DIFFERS")
+      (if trace_ok then "agrees" else "DIFFERS");
+    exit 5
+  end;
+  Printf.printf "native differential: OK (class %s, %d impure calls)\n"
+    (N.nclass_string iclass)
+    (List.length obs.N.n_trace);
+  if iclass = N.NOk then
+    match N.run_fast prog ~args:argv ~mem:(fresh_mem ()) with
+    | Error e -> Printf.eprintf "fgvc: native timing failed: %s\n" e
+    | Ok fr ->
+      Printf.printf
+        "native timing: %.1f ns/run (%d reps, compile %.2fs, checksum %h)\n"
+        fr.N.nf_ns fr.N.nf_reps fr.N.nf_compile_s fr.N.nf_checksum
+
 (* ------------------------------------------------------- compile mode *)
 
-let run_driver file fuzz seed fuzz_report pipeline dump_ir dump_cfg run args
-    heap no_restrict stats jobs trace remarks =
+let run_driver file fuzz seed fuzz_report fuzz_native pipeline dump_ir
+    dump_cfg run args heap no_restrict emit_c run_native stats jobs trace
+    remarks =
   let finalize = setup_observability trace remarks in
-  if fuzz > 0 then run_fuzz fuzz seed pipeline fuzz_report stats jobs finalize
+  if fuzz > 0 then
+    run_fuzz fuzz seed pipeline fuzz_report stats jobs fuzz_native finalize
   else begin
   let file =
     match file with
@@ -216,19 +300,35 @@ let run_driver file fuzz seed fuzz_report pipeline dump_ir dump_cfg run args
     exit 3);
   if dump_ir = Some "-" then Printer.print f;
   if dump_cfg then print_string (Fgv_cfg.Cir.to_string (Fgv_cfg.Lower.lower f));
+  let argv =
+    if args = "" then []
+    else
+      List.map
+        (fun s ->
+          let s = String.trim s in
+          match float_of_string_opt s with
+          | Some x when String.contains s '.' -> Value.VFloat x
+          | _ -> Value.VInt (int_of_string s))
+        (String.split_on_char ',' args)
+  in
+  let fresh_mem () =
+    Array.init heap (fun i -> Value.VFloat (Float.of_int (i mod 7)))
+  in
+  (match emit_c with
+  | None -> ()
+  | Some out ->
+    let prog = Fgv_cfg.Lower.lower f in
+    let text = Fgv_backend.Emit.checked prog ~mem:(fresh_mem ()) in
+    if out = "-" then print_string text
+    else begin
+      let oc = open_out out in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s\n" out
+    end);
+  if run_native then run_native_differential f ~argv ~fresh_mem;
   if run then begin
-    let argv =
-      if args = "" then []
-      else
-        List.map
-          (fun s ->
-            let s = String.trim s in
-            match float_of_string_opt s with
-            | Some x when String.contains s '.' -> Value.VFloat x
-            | _ -> Value.VInt (int_of_string s))
-          (String.split_on_char ',' args)
-    in
-    let mem = Array.init heap (fun i -> Value.VFloat (Float.of_int (i mod 7))) in
+    let mem = fresh_mem () in
     let out = Interp.run f ~args:argv ~mem in
     let c = out.Interp.counters in
     Printf.printf
@@ -295,6 +395,34 @@ let heap_opt =
 let no_restrict =
   Arg.(value & flag & info [ "no-restrict" ] ~doc:"ignore restrict qualifiers")
 
+let emit_c_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "emit-c" ] ~docv:"FILE"
+        ~doc:
+          "lower the optimized kernel to checked-mode portable C (the \
+           differential-testing configuration: tagged values, fuel, \
+           memory/trace protocol) and write it to $(docv) ($(b,-) = stdout)")
+
+let run_native_opt =
+  Arg.(
+    value & flag
+    & info [ "run-native" ]
+        ~doc:
+          "compile the kernel natively with the system C toolchain and \
+           cross-check class, final memory, and impure-call trace against \
+           the CFG interpreter, then report measured ns/run from the fast \
+           configuration; exits 5 on a differential mismatch")
+
+let fuzz_native_opt =
+  Arg.(
+    value & flag
+    & info [ "fuzz-native" ]
+        ~doc:
+          "with --fuzz: also run every generated program natively (checked \
+           mode) as a fourth oracle; requires a C compiler")
+
 let jobs_opt =
   Arg.(
     value & opt int 0
@@ -358,14 +486,18 @@ let cmd =
       `P "0 on success;";
       `P "2 on usage errors (unknown pipeline, bad format argument);";
       `P "3 when the optimized IR fails verification (a compiler bug);";
-      `P "4 when $(b,--fuzz) found a miscompilation.";
+      `P "4 when $(b,--fuzz) found a miscompilation;";
+      `P
+        "5 when $(b,--run-native) found a native/interpreter differential \
+         mismatch (or the native build of the kernel failed).";
     ]
   in
   Cmd.v
     (Cmd.info "fgvc" ~doc ~version:version_string ~man)
     Term.(
       const run_driver $ file $ fuzz_opt $ seed_opt $ fuzz_report_opt
-      $ pipeline $ dump_ir $ dump_cfg $ run_flag $ args_opt $ heap_opt
-      $ no_restrict $ stats_opt $ jobs_opt $ trace_opt $ remarks_opt)
+      $ fuzz_native_opt $ pipeline $ dump_ir $ dump_cfg $ run_flag $ args_opt
+      $ heap_opt $ no_restrict $ emit_c_opt $ run_native_opt $ stats_opt
+      $ jobs_opt $ trace_opt $ remarks_opt)
 
 let () = exit (Cmd.eval' cmd)

@@ -71,9 +71,9 @@ let run ?(fuel = 100_000_000) ?(ffi = Interp.default_ffi) (p : C.prog)
           match v, t with
           | Value.VVec xs, _ -> Value.VVec (Array.map cast1 xs)
           | _, (Ir.Tfloat | Ir.Tvec (Ir.Tfloat, _)) ->
-            VFloat (float_of_int (Value.to_int v))
+            VFloat (Intsem.to_float (Value.to_int v))
           | _, (Ir.Tint | Ir.Tvec (Ir.Tint, _)) ->
-            VInt (int_of_float (Value.to_float v))
+            VInt (Intsem.of_float (Value.to_float v))
           | _, (Ir.Tbool | Ir.Tvec (Ir.Tbool, _)) -> VBool (Value.to_bool v)
           | _ -> Value.trap "unsupported cast"
       in

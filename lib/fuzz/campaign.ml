@@ -47,6 +47,7 @@ type outcome = {
   c_programs : int;
   c_seed : int;
   c_pipelines : string list;
+  c_native : bool;  (** was the native differential oracle enabled? *)
   c_failure : failure option;
 }
 
@@ -57,20 +58,20 @@ let same_failure (m0 : Oracle.mismatch) (m : Oracle.mismatch) =
   m.Oracle.mm_pipeline = m0.Oracle.mm_pipeline
   && m.Oracle.mm_kind = m0.Oracle.mm_kind
 
-let shrink_failure ~config (fd : Fgv_frontend.Ast.fdecl)
+let shrink_failure ~native ~config (fd : Fgv_frontend.Ast.fdecl)
     (m0 : Oracle.mismatch) =
   let still_failing cand =
     match
-      Oracle.check ~pipelines:[ m0.Oracle.mm_pipeline ] ~config cand
+      Oracle.check ~native ~pipelines:[ m0.Oracle.mm_pipeline ] ~config cand
     with
     | Some m -> same_failure m0 m
     | None -> false
   in
   Shrink.shrink ~still_failing fd
 
-let mk_failure ~config ~index ~pseed (fd : Fgv_frontend.Ast.fdecl)
+let mk_failure ~native ~config ~index ~pseed (fd : Fgv_frontend.Ast.fdecl)
     (m : Oracle.mismatch) : failure =
-  let shrunk, steps = shrink_failure ~config fd m in
+  let shrunk, steps = shrink_failure ~native ~config fd m in
   (* Re-run the failing pipeline once on the reproducer with remarks
      force-enabled: the decision sequence (cuts, checks, versioned nodes,
      pass work) is the first thing a human wants when triaging.  Telemetry
@@ -81,8 +82,8 @@ let mk_failure ~config ~index ~pseed (fd : Fgv_frontend.Ast.fdecl)
         let (), (_ : Tm.shard) =
           Tm.isolated (fun () ->
               ignore
-                (Oracle.check ~pipelines:[ m.Oracle.mm_pipeline ] ~config
-                   shrunk))
+                (Oracle.check ~native ~pipelines:[ m.Oracle.mm_pipeline ]
+                   ~config shrunk))
         in
         ())
   in
@@ -98,22 +99,24 @@ let mk_failure ~config ~index ~pseed (fd : Fgv_frontend.Ast.fdecl)
   }
 
 (* The original sequential scan: stop at the first mismatch. *)
-let run_sequential ~config ~pipelines ~n ~seed () : outcome =
+let run_sequential ~native ~config ~pipelines ~n ~seed () : outcome =
   let failure = ref None in
   let i = ref 0 in
   while !failure = None && !i < n do
     let pseed = seed + !i in
     let cfg = Generator.vary config ~seed:pseed in
     let fd = Generator.generate ~config:cfg ~seed:pseed () in
-    (match Oracle.check ~pipelines ~config:cfg fd with
+    (match Oracle.check ~native ~pipelines ~config:cfg fd with
     | None -> ()
-    | Some m -> failure := Some (mk_failure ~config:cfg ~index:!i ~pseed fd m));
+    | Some m ->
+      failure := Some (mk_failure ~native ~config:cfg ~index:!i ~pseed fd m));
     incr i
   done;
   {
     c_programs = !i;
     c_seed = seed;
     c_pipelines = pipelines;
+    c_native = native;
     c_failure = !failure;
   }
 
@@ -122,7 +125,7 @@ let run_sequential ~config ~pipelines ~n ~seed () : outcome =
    known so far; the watermark only ever decreases, so every index at
    or below the final minimum is guaranteed to have run — the minimum
    is exact, not a race winner. *)
-let run_parallel ~config ~pipelines ~jobs ~n ~seed () : outcome =
+let run_parallel ~native ~config ~pipelines ~jobs ~n ~seed () : outcome =
   let watermark = Atomic.make max_int in
   let rec lower_to i =
     let cur = Atomic.get watermark in
@@ -141,7 +144,8 @@ let run_parallel ~config ~pipelines ~jobs ~n ~seed () : outcome =
          empty buffer and merges nothing.) *)
       let (verdict, shard), tshard =
         Tr.isolated (fun () ->
-            Tm.isolated (fun () -> Oracle.check ~pipelines ~config:cfg fd))
+            Tm.isolated (fun () ->
+                Oracle.check ~native ~pipelines ~config:cfg fd))
       in
       (match verdict with Some _ -> lower_to i | None -> ());
       Some (verdict, shard, tshard, fd, cfg, pseed)
@@ -164,24 +168,26 @@ let run_parallel ~config ~pipelines ~jobs ~n ~seed () : outcome =
     else
       match results.(k) with
       | Some (Some m, _, _, fd, cfg, pseed) ->
-        Some (mk_failure ~config:cfg ~index:k ~pseed fd m)
+        Some (mk_failure ~native ~config:cfg ~index:k ~pseed fd m)
       | _ -> assert false
   in
   {
     c_programs = last + 1;
     c_seed = seed;
     c_pipelines = pipelines;
+    c_native = native;
     c_failure = failure;
   }
 
-let run ?(config = Generator.default_config)
+let run ?(native = false) ?(config = Generator.default_config)
     ?(pipelines = Oracle.pipeline_names) ?(jobs = 1) ~n ~seed () : outcome =
   Tm.time "fuzz.campaign" (fun () ->
       if n <= 0 then
         { c_programs = 0; c_seed = seed; c_pipelines = pipelines;
-          c_failure = None }
-      else if jobs <= 1 then run_sequential ~config ~pipelines ~n ~seed ()
-      else run_parallel ~config ~pipelines ~jobs ~n ~seed ())
+          c_native = native; c_failure = None }
+      else if jobs <= 1 then
+        run_sequential ~native ~config ~pipelines ~n ~seed ()
+      else run_parallel ~native ~config ~pipelines ~jobs ~n ~seed ())
 
 (* ------------------------------------------------------------- report *)
 
@@ -216,12 +222,14 @@ let failure_json (f : failure) : J.t =
 let report_json (o : outcome) : J.t =
   J.Assoc
     [
-      ("schema_version", J.Int 2);
+      ("schema_version", J.Int 3);
       ("tool", J.String "fgvc --fuzz");
       ("programs", J.Int o.c_programs);
       ("seed", J.Int o.c_seed);
       ("pipelines", J.List (List.map (fun p -> J.String p) o.c_pipelines));
+      ("native", J.Bool o.c_native);
       ("oracle_runs", J.Int (Tm.get "fuzz.oracle_runs"));
+      ("native_runs", J.Int (Tm.get "fuzz.native_runs"));
       ("mismatches", J.Int (Tm.get "fuzz.mismatches"));
       ( "failure",
         match o.c_failure with

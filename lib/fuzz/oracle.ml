@@ -9,7 +9,15 @@
       pipeline;
    3. the CFG interpreter ({!Fgv_cfg.Cinterp}) on the transformed
       function lowered through {!Fgv_cfg.Lower} — which cross-checks the
-      CFG lowering itself, not just the pipeline.
+      CFG lowering itself, not just the pipeline;
+   4. (opt-in, [~native:true]) the native C backend: the CFG program is
+      lowered to checked C ({!Fgv_backend.Emit.checked}), compiled with
+      the system toolchain, and executed as a separate process — which
+      cross-checks the C lowering and the pinned {!Fgv_pssa.Intsem}
+      semantics against real hardware arithmetic.  One compile serves
+      every binding layout (arguments travel on argv).  When no C
+      compiler is on PATH the native oracle silently stands down, so
+      campaigns behave identically minus the extra coverage.
 
    All three must agree on the observable behaviour — final memory plus
    the ordered impure-call trace — under *every* binding layout the
@@ -29,6 +37,7 @@ open Fgv_pssa
 open Fgv_frontend
 module P = Fgv_passes
 module Tm = Fgv_support.Telemetry
+module N = Fgv_backend.Native
 
 type observation = {
   o_mem : Value.t array;
@@ -49,7 +58,8 @@ type mismatch = {
   mm_pipeline : string;
   mm_kind : string;
       (** "verifier" | "pssa-diff" | "cfg-diff" | "pipeline-crash"
-          | "cfg-lower-crash" *)
+          | "cfg-lower-crash" | "native-compile-crash" | "native-crash"
+          | "native-diff" *)
   mm_pass : string option;  (** for "verifier": the offending pass *)
   mm_binding : int list;  (** pointer bases; [] when not binding-specific *)
   mm_detail : string;
@@ -211,10 +221,57 @@ let compare_funcs ~(config : Generator.config) ~layouts ~(label : string)
           })
     layouts
 
-(* Run one pipeline over a fresh lowering of [fd] and check the three
+(* Map a native observation to the shared run classification.  The
+   native side cannot carry a trap message, but {!runs_agree} treats any
+   two [Trapped] as agreeing regardless of message, so none is needed. *)
+let class_of_native (obs : N.obs) : run_class =
+  match obs.N.n_class with
+  | N.NOk -> Finished { o_mem = obs.N.n_mem; o_trace = obs.N.n_trace }
+  | N.NTrap -> Trapped "(native)"
+  | N.NUndef op -> Undef_trap op
+  | N.NFuel -> Exhausted
+
+(* Fourth oracle: compile the CFG program to checked C once, run it
+   natively under every layout, and compare against the PSSA reference
+   interpreter. *)
+let check_native ~(config : Generator.config) ~layouts ~name
+    (reference : Ir.func) (prog : Fgv_cfg.Cir.prog) : mismatch option =
+  let mismatch kind binding detail =
+    Tm.incr "fuzz.mismatches";
+    Some
+      {
+        mm_pipeline = name;
+        mm_kind = kind;
+        mm_pass = None;
+        mm_binding = binding;
+        mm_detail = detail;
+      }
+  in
+  match N.compile_checked ~fuel prog ~mem:(Generator.fresh_mem config) with
+  | Error e -> mismatch "native-compile-crash" [] e
+  | Ok compiled ->
+    let result =
+      List.find_map
+        (fun layout ->
+          Tm.incr "fuzz.native_runs";
+          let a = run_pssa config reference layout in
+          match
+            N.run_checked compiled ~args:(Generator.args_for config layout)
+          with
+          | Error e -> mismatch "native-crash" layout e
+          | Ok obs -> (
+            match runs_agree a (class_of_native obs) with
+            | None -> None
+            | Some detail -> mismatch "native-diff" layout detail))
+        layouts
+    in
+    N.release compiled;
+    result
+
+(* Run one pipeline over a fresh lowering of [fd] and check the
    oracles under every layout. *)
-let check_pipeline ~(config : Generator.config) (fd : Fgv_frontend.Ast.fdecl)
-    (name : string) : mismatch option =
+let check_pipeline ?(native = false) ~(config : Generator.config)
+    (fd : Fgv_frontend.Ast.fdecl) (name : string) : mismatch option =
   let runner =
     match List.assoc_opt name pipelines with
     | Some r -> r
@@ -264,28 +321,37 @@ let check_pipeline ~(config : Generator.config) (fd : Fgv_frontend.Ast.fdecl)
               mm_binding = [];
               mm_detail = Printexc.to_string e;
             }
-        | prog ->
-          List.find_map
-            (fun layout ->
-              let a = run_pssa config reference layout in
-              let b = run_cfg config prog layout in
-              match runs_agree a b with
-              | None -> None
-              | Some detail ->
-                Tm.incr "fuzz.mismatches";
-                Some
-                  {
-                    mm_pipeline = name;
-                    mm_kind = "cfg-diff";
-                    mm_pass = None;
-                    mm_binding = layout;
-                    mm_detail = detail;
-                  })
-            layouts)))
+        | prog -> (
+          let cfg_mismatch =
+            List.find_map
+              (fun layout ->
+                let a = run_pssa config reference layout in
+                let b = run_cfg config prog layout in
+                match runs_agree a b with
+                | None -> None
+                | Some detail ->
+                  Tm.incr "fuzz.mismatches";
+                  Some
+                    {
+                      mm_pipeline = name;
+                      mm_kind = "cfg-diff";
+                      mm_pass = None;
+                      mm_binding = layout;
+                      mm_detail = detail;
+                    })
+              layouts
+          in
+          match cfg_mismatch with
+          | Some m -> Some m
+          | None ->
+            if native && N.available () then
+              check_native ~config ~layouts ~name reference prog
+            else None))))
 
 (* Check one program against every requested pipeline; first mismatch
    wins. *)
-let check ?(pipelines = pipeline_names) ~(config : Generator.config)
-    (fd : Fgv_frontend.Ast.fdecl) : mismatch option =
+let check ?(native = false) ?(pipelines = pipeline_names)
+    ~(config : Generator.config) (fd : Fgv_frontend.Ast.fdecl) :
+    mismatch option =
   Tm.incr "fuzz.programs";
-  List.find_map (fun name -> check_pipeline ~config fd name) pipelines
+  List.find_map (fun name -> check_pipeline ~native ~config fd name) pipelines

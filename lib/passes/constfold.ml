@@ -14,17 +14,20 @@ let const_of f v =
 let fold_binop op a b =
   let open Ir in
   match op, a, b with
-  | Add, Cint x, Cint y -> Some (Cint (x + y))
-  | Sub, Cint x, Cint y -> Some (Cint (x - y))
-  | Mul, Cint x, Cint y -> Some (Cint (x * y))
-  | Div, Cint x, Cint y when y <> 0 -> Some (Cint (x / y))
-  | Rem, Cint x, Cint y when y <> 0 -> Some (Cint (x mod y))
+  (* integer ops fold with the pinned {!Fgv_pssa.Intsem} semantics —
+     the same ones the interpreters and the native backend use, so
+     folding never changes observable behaviour *)
+  | Add, Cint x, Cint y -> Some (Cint (Intsem.add x y))
+  | Sub, Cint x, Cint y -> Some (Cint (Intsem.sub x y))
+  | Mul, Cint x, Cint y -> Some (Cint (Intsem.mul x y))
+  | Div, Cint x, Cint y when y <> 0 -> Some (Cint (Intsem.div x y))
+  | Rem, Cint x, Cint y when y <> 0 -> Some (Cint (Intsem.rem x y))
   | Fadd, Cfloat x, Cfloat y -> Some (Cfloat (x +. y))
   | Fsub, Cfloat x, Cfloat y -> Some (Cfloat (x -. y))
   | Fmul, Cfloat x, Cfloat y -> Some (Cfloat (x *. y))
   | Fdiv, Cfloat x, Cfloat y -> Some (Cfloat (x /. y))
-  | Fmin, Cfloat x, Cfloat y -> Some (Cfloat (Float.min x y))
-  | Fmax, Cfloat x, Cfloat y -> Some (Cfloat (Float.max x y))
+  | Fmin, Cfloat x, Cfloat y -> Some (Cfloat (Intsem.fmin x y))
+  | Fmax, Cfloat x, Cfloat y -> Some (Cfloat (Intsem.fmax x y))
   | Band, Cbool x, Cbool y -> Some (Cbool (x && y))
   | Bor, Cbool x, Cbool y -> Some (Cbool (x || y))
   | _ -> None

@@ -96,23 +96,25 @@ let apply_binop op (a : Value.t) (b : Value.t) : Value.t =
   if Value.is_undef a || Value.is_undef b then VUndef
   else
     match op with
-    | Add -> lift_int_op ( + ) a b
-    | Sub -> lift_int_op ( - ) a b
-    | Mul -> lift_int_op ( * ) a b
+    (* integer semantics (wrap, rounding, casts) are pinned in {!Intsem}
+       so the native C backend can mirror them exactly *)
+    | Add -> lift_int_op Intsem.add a b
+    | Sub -> lift_int_op Intsem.sub a b
+    | Mul -> lift_int_op Intsem.mul a b
     | Div ->
       let d = Value.to_int b in
       if d = 0 then Value.trap "integer division by zero"
-      else lift_int_op ( / ) a b
+      else lift_int_op Intsem.div a b
     | Rem ->
       let d = Value.to_int b in
       if d = 0 then Value.trap "integer remainder by zero"
-      else lift_int_op (fun x y -> x mod y) a b
+      else lift_int_op Intsem.rem a b
     | Fadd -> lift_float_op ( +. ) a b
     | Fsub -> lift_float_op ( -. ) a b
     | Fmul -> lift_float_op ( *. ) a b
     | Fdiv -> lift_float_op ( /. ) a b
-    | Fmin -> lift_float_op Float.min a b
-    | Fmax -> lift_float_op Float.max a b
+    | Fmin -> lift_float_op Intsem.fmin a b
+    | Fmax -> lift_float_op Intsem.fmax a b
     | Band -> VBool (Value.to_bool a && Value.to_bool b)
     | Bor -> VBool (Value.to_bool a || Value.to_bool b)
 
@@ -189,8 +191,10 @@ let run ?(fuel = 100_000_000) ?(ffi = default_ffi) (f : func)
         else
           match v, t with
           | Value.VVec xs, _ -> Value.VVec (Array.map cast1 xs)
-          | _, (Tfloat | Tvec (Tfloat, _)) -> VFloat (float_of_int (Value.to_int v))
-          | _, (Tint | Tvec (Tint, _)) -> VInt (int_of_float (Value.to_float v))
+          | _, (Tfloat | Tvec (Tfloat, _)) ->
+            VFloat (Intsem.to_float (Value.to_int v))
+          | _, (Tint | Tvec (Tint, _)) ->
+            VInt (Intsem.of_float (Value.to_float v))
           | _, (Tbool | Tvec (Tbool, _)) -> VBool (Value.to_bool v)
           | _ -> Value.trap "unsupported cast"
       in

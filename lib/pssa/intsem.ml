@@ -1,0 +1,69 @@
+(* Pinned integer semantics for [Ir.Tint] values.
+
+   Every component that evaluates integer arithmetic — the PSSA
+   interpreter, the CFG interpreter, the constant folder, and the native
+   C backend — must agree bit-for-bit, or differential execution reports
+   phantom miscompiles.  This module is the single place those semantics
+   are written down; everything else calls it (or, for the C backend,
+   transliterates it — see lib/backend/emit.ml, which cites the
+   corresponding helper for each emitted C function).
+
+   The model: [Tint] is a [Sys.int_size]-bit (63 on 64-bit hosts) two's
+   complement integer.
+
+   - [add]/[sub]/[mul] wrap modulo 2^63.  OCaml's native [int] already
+     does exactly this; the C emitter must re-normalize after each
+     64-bit operation (sign-extend from bit 62, [wrap] below).
+   - [div] truncates toward zero; [rem] takes the sign of the dividend
+     (C99 semantics; also OCaml's).  Division by zero traps *before*
+     these are reached.  [min_int / -1] wraps to [min_int] — in C this
+     is well-defined because the 63-bit operands never hit the one
+     int64 UB case (INT64_MIN / -1).
+   - [of_float] (the [Cast Tint] semantics) truncates toward zero; NaN
+     and values outside the *64-bit* range convert to 0 (the x86-64
+     "integer indefinite" 0x8000000000000000, which wraps to 0 in 63
+     bits).  This pins what [int_of_float] happens to do on x86-64 as
+     the portable, documented behaviour.
+   - [to_float] (the [Cast Tfloat] semantics) is exact rounding of the
+     63-bit integer to the nearest double, i.e. C's [(double)x].
+   - There are no shift operators in [Ir.binop], so no shift-width
+     semantics to pin. *)
+
+let bits = Sys.int_size
+
+(* Re-normalize a value that may have escaped the 63-bit range (only
+   possible when mirroring these semantics in 64-bit arithmetic; on the
+   OCaml side native ints cannot escape, so this is the identity). *)
+let wrap (x : int) : int = x
+
+let add a b = a + b
+let sub a b = a - b
+let mul a b = a * b
+
+(* Callers check for a zero divisor (and trap) first. *)
+let div a b = a / b
+let rem a b = a mod b
+
+let to_float = float_of_int
+
+(* 2^63 as a float; doubles >= this bound (or < its negation) are out of
+   64-bit range.  The comparisons below are exact: the bound itself is a
+   representable double. *)
+let two63 = Float.ldexp 1.0 63
+
+let of_float (x : float) : int =
+  if Float.is_nan x then 0
+  else if x >= two63 || x < -.two63 then 0
+  else
+    (* in 64-bit range: Int64.of_float truncates toward zero, and
+       Int64.to_int drops the top bit, wrapping into 63 bits — the same
+       normalization the C backend applies after its (int64_t) cast *)
+    Int64.to_int (Int64.of_float x)
+
+(* Floating min/max with the OCaml [Float.min]/[Float.max] semantics the
+   interpreters use for [Fmin]/[Fmax] (NOT C's fmin/fmax, which *drop*
+   NaNs): a NaN argument is returned as-is (payload preserved), and when
+   both arguments are zeros, [fmin] prefers -0. and [fmax] prefers +0.
+   Kept here so the backend has one named spec to transliterate. *)
+let fmin = Float.min
+let fmax = Float.max

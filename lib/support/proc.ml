@@ -1,0 +1,84 @@
+(* Child-process orchestration for the native backend: run a command,
+   capture stdout/stderr and the exit status, and time the run.
+
+   Output is captured through temporary files rather than pipes: the
+   children here (a C compiler, a compiled kernel) can write megabytes
+   of diagnostics, and redirecting to files needs no pumping thread and
+   cannot deadlock.  [Unix.create_process] forks and immediately execs,
+   which is safe from pool worker domains. *)
+
+type result = {
+  p_status : Unix.process_status;
+  p_stdout : string;
+  p_stderr : string;
+  p_wall_s : float;
+}
+
+let ok (r : result) = r.p_status = Unix.WEXITED 0
+
+let status_string = function
+  | Unix.WEXITED n -> Printf.sprintf "exited %d" n
+  | Unix.WSIGNALED n -> Printf.sprintf "killed by signal %d" n
+  | Unix.WSTOPPED n -> Printf.sprintf "stopped by signal %d" n
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Run [prog args] (prog resolved via PATH by execvp), returning status,
+   captured output, and wall-clock seconds.  Paths in [args] should be
+   absolute: the child inherits our working directory, and callers may
+   run from pool worker domains where chdir would race. *)
+let run (prog : string) (args : string list) : result =
+  let out_file = Filename.temp_file "fgv-proc" ".out" in
+  let err_file = Filename.temp_file "fgv-proc" ".err" in
+  let argv = Array.of_list (prog :: args) in
+  let t0 = Unix.gettimeofday () in
+  let finally () =
+    (try Sys.remove out_file with Sys_error _ -> ());
+    try Sys.remove err_file with Sys_error _ -> ()
+  in
+  Fun.protect ~finally (fun () ->
+      let out_fd =
+        Unix.openfile out_file [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+      in
+      let err_fd =
+        Unix.openfile err_file [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600
+      in
+      let pid =
+        Fun.protect
+          ~finally:(fun () ->
+            Unix.close out_fd;
+            Unix.close err_fd)
+          (fun () ->
+            Unix.create_process prog argv Unix.stdin out_fd err_fd)
+      in
+      let _, status = Unix.waitpid [] pid in
+      {
+        p_status = status;
+        p_stdout = read_file out_file;
+        p_stderr = read_file err_file;
+        p_wall_s = Unix.gettimeofday () -. t0;
+      })
+
+(* Search PATH for an executable; used to locate the system C compiler
+   (and to skip the native lanes gracefully when there is none). *)
+let find_in_path (name : string) : string option =
+  if Filename.is_implicit name then
+    let dirs =
+      String.split_on_char ':' (try Sys.getenv "PATH" with Not_found -> "")
+    in
+    List.find_map
+      (fun dir ->
+        if dir = "" then None
+        else
+          let candidate = Filename.concat dir name in
+          if Sys.file_exists candidate && not (Sys.is_directory candidate)
+          then Some candidate
+          else None)
+      dirs
+  else if Sys.file_exists name then Some name
+  else None

@@ -1,0 +1,18 @@
+(* Regenerates the golden fast-mode C for the backend tests:
+
+     dune exec test/gen_golden.exe > test/golden_s131.c
+
+   Review the diff before committing — the golden file pins the
+   emitter's exact output for s131 under sv+versioning. *)
+
+module W = Fgv_bench.Workload
+
+let () =
+  let k =
+    List.find (fun k -> k.W.k_name = "s131") Fgv_bench.Tsvc.kernels
+  in
+  let cfgn = W.sv_versioning () in
+  let f = W.compile_for cfgn k in
+  ignore (cfgn.W.c_apply f);
+  let prog = Fgv_cfg.Lower.lower f in
+  print_string (Fgv_backend.Emit.fast prog ~args:k.W.k_args ~mem:(W.fresh_mem k))

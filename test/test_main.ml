@@ -17,6 +17,7 @@ let () =
       ("clients", Test_clients.suite);
       ("random", Test_random.suite);
       ("fuzz", Test_fuzz.suite);
+      ("backend", Test_backend.suite);
       ("condopt", Test_condopt.suite);
       ("interp", Test_interp.suite);
     ]

@@ -129,6 +129,32 @@ let prop_restrict_rle =
 let prop_cfg =
   pipeline_prop ~count:120 "CFG lowering of versioned random programs" "sv+v"
 
+(* Property 4: the native backend agrees too.  100 random programs (50
+   seeds x the default sv+v and the combined clients pipeline) run
+   through the full oracle with the native differential enabled: each
+   optimized program is lowered to checked-mode C, compiled with the
+   system toolchain, and its class + final memory + impure-call trace
+   diffed against the PSSA reference under every aliasing layout.  This
+   is a plain Alcotest case, not QCheck: it must be able to skip with a
+   clear message on machines without a C compiler. *)
+let test_native_differential () =
+  if not (Fgv_backend.Native.available ()) then begin
+    print_endline
+      "skipping native differential: no C compiler on PATH (set FGV_CC)";
+    Alcotest.skip ()
+  end;
+  List.iter
+    (fun pipeline ->
+      for seed = 0 to 49 do
+        let cfg, fd = case_of_seed ~restrict:false seed in
+        match O.check_pipeline ~native:true ~config:cfg fd pipeline with
+        | None -> ()
+        | Some m ->
+          Alcotest.failf "seed %d / %s: %s\n%s" seed pipeline
+            (O.mismatch_to_string m) (G.render fd)
+      done)
+    [ "sv+v"; "combined" ]
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_versioning_preserves;
@@ -143,4 +169,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_restrict_svv;
     QCheck_alcotest.to_alcotest prop_restrict_rle;
     QCheck_alcotest.to_alcotest prop_cfg;
+    Alcotest.test_case "native differential on random programs" `Slow
+      test_native_differential;
   ]
