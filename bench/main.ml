@@ -476,11 +476,109 @@ let run_compiletime () =
          ("counters", counters_json delta);
        ])
 
+(* ------------------------------------------------- compile service lane *)
+
+(* A repeat-heavy request mix against the compile service (lib/service):
+   [svc_distinct] distinct kernels, each requested [svc_repeats] times
+   round-robin, driven request-by-request twice over the same service.
+   The first pass measures the cold cache (every distinct kernel misses
+   once), the second pass is all hits — their wall-clock ratio is the
+   cache's warmup speedup.  Latencies land under "timing" (CI strips
+   them when diffing --jobs runs); the hit/miss/eviction accounting is
+   deterministic and diffable. *)
+let svc_distinct = 16
+
+let svc_repeats = 4
+
+let svc_requests () =
+  let pipes = [ "o3"; "sv+v"; "dse"; "combined" ] in
+  let mk i =
+    let src =
+      Printf.sprintf
+        "kernel bench%d(float* restrict a, float* restrict b, int n) { for \
+         (int i = 0; i < n; i = i + 1) { a[i] = b[i] * %d.0 + %d.0; } }"
+        i (i + 1) i
+    in
+    {
+      Fgv_service.Protocol.rq_id = Printf.sprintf "r%d" i;
+      rq_source = src;
+      rq_pipeline = List.nth pipes (i mod List.length pipes);
+      rq_no_restrict = false;
+      rq_emit_c = false;
+      rq_heap = Fgv_service.Protocol.default_heap;
+    }
+  in
+  let distinct = List.init svc_distinct mk in
+  List.concat (List.init svc_repeats (fun _ -> distinct))
+
+let percentile p xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  a.(min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1))
+
+let run_service () =
+  Tr.with_span ~cat:"figure" "service" @@ fun () ->
+  let module S = Fgv_service.Service in
+  let reqs = svc_requests () in
+  let (svc, cold_wall, warm_wall, latencies), delta =
+    Tm.capture (fun () ->
+        let svc = S.create ~jobs:!jobs () in
+        let latencies = ref [] in
+        let drive () =
+          let t0 = Unix.gettimeofday () in
+          List.iter
+            (fun rq ->
+              let r0 = Unix.gettimeofday () in
+              ignore (S.handle_request svc rq);
+              latencies := (Unix.gettimeofday () -. r0) :: !latencies)
+            reqs;
+          Unix.gettimeofday () -. t0
+        in
+        let cold_wall = drive () in
+        let warm_wall = drive () in
+        (svc, cold_wall, warm_wall, List.rev !latencies))
+  in
+  let requests = svc.S.requests in
+  let hit_rate = float_of_int svc.S.hits /. float_of_int requests in
+  let p50 = percentile 50. latencies and p99 = percentile 99. latencies in
+  let speedup = cold_wall /. warm_wall in
+  section "Compile service (repeat-heavy mix)"
+    (Printf.sprintf
+       "%d requests (%d distinct, %d requests each over 2 passes): %d \
+        hits, %d misses -> hit rate %.3f\n\
+        latency p50 %.2f us, p99 %.2f us; cold pass %.1f ms, warm pass \
+        %.1f ms -> warmup speedup %.1fx\n"
+       requests svc_distinct (2 * svc_repeats) svc.S.hits svc.S.misses
+       hit_rate (1e6 *. p50) (1e6 *. p99) (1e3 *. cold_wall)
+       (1e3 *. warm_wall) speedup);
+  add_figure "service"
+    (J.Assoc
+       [
+         ("requests", J.Int requests);
+         ("distinct", J.Int svc_distinct);
+         ("hits", J.Int svc.S.hits);
+         ("misses", J.Int svc.S.misses);
+         ("coalesced", J.Int svc.S.coalesced);
+         ("evictions", J.Int (Fgv_service.Cache.evictions svc.S.cache));
+         ("hit_rate", J.Float hit_rate);
+         ( "timing",
+           J.Assoc
+             [
+               ("cold_wall_s", J.Float cold_wall);
+               ("warm_wall_s", J.Float warm_wall);
+               ("warmup_speedup", J.Float speedup);
+               ("p50_s", J.Float p50);
+               ("p99_s", J.Float p99);
+             ] );
+         ("counters", counters_json delta);
+       ])
+
 let write_json file =
   let doc =
     J.Assoc
       [
-        ("schema_version", J.Int 4);
+        ("schema_version", J.Int Fgv_support.Version.bench_json_schema);
         ("suite", J.String "fgv-bench");
         ("jobs", J.Int !jobs);
         ("figures", J.Assoc (List.rev !json_figures));
@@ -498,8 +596,8 @@ let write_json file =
 let usage () =
   Printf.eprintf
     "usage: main.exe [fig16|fig19|fig22|clients|s258|ablation-mincut|\
-     ablation-condopt|compiletime|native|wallclock|all]... [--json FILE] \
-     [--jobs N] [--trace FILE]\n";
+     ablation-condopt|compiletime|native|service|wallclock|all]... \
+     [--json FILE] [--jobs N] [--trace FILE]\n";
   exit 1
 
 let () =
@@ -552,6 +650,7 @@ let () =
     | "ablation-condopt" -> run_a2 ()
     | "compiletime" -> run_compiletime ()
     | "native" -> run_native ()
+    | "service" -> run_service ()
     | "wallclock" -> wallclock ()
     | "all" ->
       run_fig19 ();
@@ -563,6 +662,7 @@ let () =
       run_a2 ();
       run_compiletime ();
       run_native ();
+      run_service ();
       section "Wall-clock sanity (Bechamel)" "";
       wallclock ()
     | other ->

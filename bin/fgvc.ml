@@ -27,6 +27,13 @@
    report, the telemetry counters, and the remark stream are
    byte-identical at any job count: the lowest failing seed wins,
    exactly as in a sequential scan.
+
+   With [--serve] the driver becomes a batch compile service speaking
+   newline-delimited JSON (lib/service, DESIGN.md §15): requests in,
+   artifacts out, repeats answered from a content-addressed cache.
+
+     fgvc --serve --jobs 4 < requests.jsonl
+     fgvc --serve --socket /tmp/fgvc.sock --cache-max 256
 *)
 
 open Cmdliner
@@ -40,32 +47,12 @@ module Udiff = Fgv_support.Udiff
 
 (* Schema versions of every machine-readable output this tool family
    emits; printed by --version so consumers can pin against them. *)
-let version_string = "fgv 0.6 (bench-json=4 fuzz-report=3 trace=1)"
+let version_string = Fgv_support.Version.banner
 
+(* The shared pipeline registry, plus the driver-only identity pipeline. *)
 let pipelines :
     (string * (?on_pass:(string -> Ir.func -> unit) -> Ir.func -> unit)) list =
-  [
-    ("none", fun ?on_pass:_ _ -> ());
-    ("o3-novec", fun ?on_pass f -> ignore (P.Pipelines.o3_novec ?on_pass f));
-    ("o3", fun ?on_pass f -> ignore (P.Pipelines.o3 ?on_pass f));
-    ("sv", fun ?on_pass f -> ignore (P.Pipelines.sv ?on_pass f));
-    ("sv+v", fun ?on_pass f -> ignore (P.Pipelines.sv_versioning ?on_pass f));
-    ("rle", fun ?on_pass f -> ignore (P.Pipelines.rle_pipeline ?on_pass f));
-    ( "rle-static",
-      fun ?on_pass f ->
-        ignore (P.Pipelines.rle_pipeline ~versioning:false ?on_pass f) );
-    ("dse", fun ?on_pass f -> ignore (P.Pipelines.dse_pipeline ?on_pass f));
-    ( "dse-static",
-      fun ?on_pass f ->
-        ignore (P.Pipelines.dse_pipeline ~versioning:false ?on_pass f) );
-    ( "distribute",
-      fun ?on_pass f -> ignore (P.Pipelines.distribute_pipeline ?on_pass f) );
-    ( "distribute-static",
-      fun ?on_pass f ->
-        ignore (P.Pipelines.distribute_pipeline ~versioning:false ?on_pass f)
-    );
-    ("combined", fun ?on_pass f -> ignore (P.Pipelines.combined ?on_pass f));
-  ]
+  ("none", fun ?on_pass:_ _ -> ()) :: P.Pipelines.registry
 
 let print_stats stats =
   match stats with
@@ -252,13 +239,32 @@ let run_native_differential (f : Ir.func) ~(argv : Value.t list) ~fresh_mem =
         "native timing: %.1f ns/run (%d reps, compile %.2fs, checksum %h)\n"
         fr.N.nf_ns fr.N.nf_reps fr.N.nf_compile_s fr.N.nf_checksum
 
+(* ------------------------------------------------------- service mode *)
+
+let run_serve socket cache_max stats jobs finalize =
+  let module S = Fgv_service.Service in
+  let svc =
+    S.create
+      ?jobs:(if jobs = 0 then None else Some jobs)
+      ~cache_max ()
+  in
+  (match socket with
+  | Some path -> S.serve_socket svc path
+  | None -> ignore (S.serve_channel svc stdin stdout));
+  finalize ();
+  let rc = print_stats stats in
+  if rc <> 0 then exit rc;
+  0
+
 (* ------------------------------------------------------- compile mode *)
 
 let run_driver file fuzz seed fuzz_report fuzz_native pipeline dump_ir
     dump_cfg run args heap no_restrict emit_c run_native stats jobs trace
-    remarks =
+    remarks serve socket stdin_proto cache_max =
   let finalize = setup_observability trace remarks in
-  if fuzz > 0 then
+  if serve || stdin_proto || socket <> None then
+    run_serve socket cache_max stats jobs finalize
+  else if fuzz > 0 then
     run_fuzz fuzz seed pipeline fuzz_report stats jobs fuzz_native finalize
   else begin
   let file =
@@ -364,9 +370,9 @@ let fuzz_report_opt =
 
 let pipeline =
   Arg.(value & opt string "none" & info [ "p"; "pipeline" ] ~docv:"PIPE"
-         ~doc:"optimization pipeline: none, o3-novec, o3, sv, sv+v, rle, \
-               rle-static, dse, dse-static, distribute, distribute-static, \
-               combined (with --fuzz also sv+v-nopromo; none = fuzz all)")
+         ~doc:"optimization pipeline: none, o3-novec, o3, sv, sv+v, \
+               sv+v-nopromo, rle, rle-static, dse, dse-static, distribute, \
+               distribute-static, combined (with --fuzz, none = fuzz all)")
 
 let dump_ir =
   Arg.(
@@ -428,9 +434,9 @@ let jobs_opt =
     value & opt int 0
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "worker domains for --fuzz (0 = auto: $(b,POOL_JOBS) or the \
-           machine's core count); results are byte-identical at any job \
-           count")
+          "worker domains for --fuzz and --serve (0 = auto: $(b,POOL_JOBS) \
+           or the machine's core count); results are byte-identical at any \
+           job count")
 
 let stats_opt =
   Arg.(
@@ -464,6 +470,45 @@ let remarks_opt =
            per line.  The stream is deterministic: byte-identical at any \
            --jobs count")
 
+let serve_opt =
+  Arg.(
+    value & flag
+    & info [ "serve" ]
+        ~doc:
+          "run as a compile service: read newline-delimited JSON compile \
+           requests (or batches) from stdin and answer one response line \
+           per request line on stdout, fanning distinct compiles across \
+           --jobs worker domains and answering repeats from a \
+           content-addressed artifact cache.  See also $(b,--socket), \
+           $(b,--cache-max)")
+
+let socket_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "with the compile service: listen on a Unix-domain socket at \
+           $(docv) instead of stdin/stdout; the cache persists across \
+           connections (implies $(b,--serve))")
+
+let stdin_proto_opt =
+  Arg.(
+    value & flag
+    & info [ "stdin-proto" ]
+        ~doc:
+          "explicit alias for the compile service's default stdin/stdout \
+           transport (implies $(b,--serve))")
+
+let cache_max_opt =
+  Arg.(
+    value
+    & opt int Fgv_service.Cache.default_max
+    & info [ "cache-max" ] ~docv:"N"
+        ~doc:
+          "with the compile service: keep at most $(docv) artifacts in the \
+           cache, evicting least-recently-used entries past that")
+
 let cmd =
   let doc = "compile and run mini-C kernels with fine-grained program versioning" in
   let man =
@@ -475,6 +520,18 @@ let cmd =
          versioning, and can print the IR, lower it to a CFG, or interpret \
          it under a cost model.  With $(b,--fuzz) it instead runs a \
          differential-fuzzing campaign over generated programs.";
+      `S "COMPILE SERVICE";
+      `P
+        "$(b,--serve) turns $(tname) into a batch compile service speaking \
+         newline-delimited JSON on stdin/stdout (or on a Unix socket with \
+         $(b,--socket) PATH).  A request object carries $(b,source) plus \
+         optional $(b,id), $(b,pipeline), $(b,no_restrict), $(b,emit_c), \
+         $(b,heap); a JSON array of requests is one batch, compiled in \
+         parallel.  Artifacts are cached content-addressed (key: \
+         canonicalized source, pipeline, flags, tool version) with LRU \
+         eviction at $(b,--cache-max) entries; cached responses are \
+         byte-identical to fresh ones.  {\"op\": \"ping\"|\"stats\"|\
+         \"shutdown\"} are control lines.";
       `S "OBSERVABILITY";
       `P
         "$(b,--trace) FILE writes a Chrome trace-event JSON of the \
@@ -498,6 +555,7 @@ let cmd =
       const run_driver $ file $ fuzz_opt $ seed_opt $ fuzz_report_opt
       $ fuzz_native_opt $ pipeline $ dump_ir $ dump_cfg $ run_flag $ args_opt
       $ heap_opt $ no_restrict $ emit_c_opt $ run_native_opt $ stats_opt
-      $ jobs_opt $ trace_opt $ remarks_opt)
+      $ jobs_opt $ trace_opt $ remarks_opt $ serve_opt $ socket_opt
+      $ stdin_proto_opt $ cache_max_opt)
 
 let () = exit (Cmd.eval' cmd)

@@ -222,7 +222,7 @@ let failure_json (f : failure) : J.t =
 let report_json (o : outcome) : J.t =
   J.Assoc
     [
-      ("schema_version", J.Int 3);
+      ("schema_version", J.Int Fgv_support.Version.fuzz_report_schema);
       ("tool", J.String "fgvc --fuzz");
       ("programs", J.Int o.c_programs);
       ("seed", J.Int o.c_seed);

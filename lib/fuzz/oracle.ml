@@ -75,34 +75,17 @@ let mismatch_to_string m =
 
 (* ----------------------------------------------------------- pipelines *)
 
-(* Every pipeline in {!Fgv_passes.Pipelines}, under the same names the
-   [fgvc] driver uses.  "sv+v-nopromo" pins condition promotion off so
-   both promotion settings are fuzzed. *)
+(* Every pipeline in {!Fgv_passes.Pipelines.registry}, under the same
+   names the [fgvc] driver and the compile service use — the oracle
+   sweep is exactly the shared registry (including "sv+v-nopromo", which
+   pins condition promotion off so both promotion settings are fuzzed),
+   with the per-pass verifier hook made mandatory. *)
 let pipelines :
     (string * (on_pass:(string -> Ir.func -> unit) -> Ir.func -> unit)) list =
-  [
-    ("o3-novec", fun ~on_pass f -> ignore (P.Pipelines.o3_novec ~on_pass f));
-    ("o3", fun ~on_pass f -> ignore (P.Pipelines.o3 ~on_pass f));
-    ("sv", fun ~on_pass f -> ignore (P.Pipelines.sv ~on_pass f));
-    ("sv+v", fun ~on_pass f -> ignore (P.Pipelines.sv_versioning ~on_pass f));
-    ( "sv+v-nopromo",
-      fun ~on_pass f ->
-        ignore (P.Pipelines.sv_versioning ~promotion:false ~on_pass f) );
-    ("rle", fun ~on_pass f -> ignore (P.Pipelines.rle_pipeline ~on_pass f));
-    ( "rle-static",
-      fun ~on_pass f ->
-        ignore (P.Pipelines.rle_pipeline ~versioning:false ~on_pass f) );
-    ("dse", fun ~on_pass f -> ignore (P.Pipelines.dse_pipeline ~on_pass f));
-    ( "dse-static",
-      fun ~on_pass f ->
-        ignore (P.Pipelines.dse_pipeline ~versioning:false ~on_pass f) );
-    ( "distribute",
-      fun ~on_pass f -> ignore (P.Pipelines.distribute_pipeline ~on_pass f) );
-    ( "distribute-static",
-      fun ~on_pass f ->
-        ignore (P.Pipelines.distribute_pipeline ~versioning:false ~on_pass f) );
-    ("combined", fun ~on_pass f -> ignore (P.Pipelines.combined ~on_pass f));
-  ]
+  List.map
+    (fun (name, apply) ->
+      (name, fun ~on_pass f -> apply ?on_pass:(Some on_pass) f))
+    P.Pipelines.registry
 
 let pipeline_names = List.map fst pipelines
 

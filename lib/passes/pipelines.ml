@@ -333,3 +333,39 @@ let combined ?(vl = 4) ?(versioning = true) ?on_pass (f : Ir.func) :
          ]
         @ scalar_stages f stats);
       stats)
+
+(* ------------------------------------------------------- the registry *)
+
+(* The single name → pipeline table every consumer shares: the fgvc
+   driver's [-p] flag, the fuzz oracle's sweep, the compile service's
+   request decoder, and the doc-lint check that keeps README's pipeline
+   table honest all read this list.  Adding a pipeline here is the whole
+   registration step (plus a README row, which doc-lint enforces). *)
+let registry :
+    (string * (?on_pass:(string -> Ir.func -> unit) -> Ir.func -> unit)) list
+    =
+  [
+    ("o3-novec", fun ?on_pass f -> ignore (o3_novec ?on_pass f));
+    ("o3", fun ?on_pass f -> ignore (o3 ?on_pass f));
+    ("sv", fun ?on_pass f -> ignore (sv ?on_pass f));
+    ("sv+v", fun ?on_pass f -> ignore (sv_versioning ?on_pass f));
+    ( "sv+v-nopromo",
+      fun ?on_pass f -> ignore (sv_versioning ~promotion:false ?on_pass f) );
+    ("rle", fun ?on_pass f -> ignore (rle_pipeline ?on_pass f));
+    ( "rle-static",
+      fun ?on_pass f -> ignore (rle_pipeline ~versioning:false ?on_pass f) );
+    ("dse", fun ?on_pass f -> ignore (dse_pipeline ?on_pass f));
+    ( "dse-static",
+      fun ?on_pass f -> ignore (dse_pipeline ~versioning:false ?on_pass f) );
+    ("distribute", fun ?on_pass f -> ignore (distribute_pipeline ?on_pass f));
+    ( "distribute-static",
+      fun ?on_pass f ->
+        ignore (distribute_pipeline ~versioning:false ?on_pass f) );
+    ("combined", fun ?on_pass f -> ignore (combined ?on_pass f));
+  ]
+
+let names = List.map fst registry
+
+let find (name : string) :
+    (?on_pass:(string -> Ir.func -> unit) -> Ir.func -> unit) option =
+  List.assoc_opt name registry

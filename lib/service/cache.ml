@@ -1,0 +1,140 @@
+(* Content-addressed artifact cache for the compile service (DESIGN
+   §15), following the two exemplars the roadmap names: mandala's
+   content-based versioning ("recompute only when the logic behind it
+   has changed") and version_manager's fingerprint-index-eviction
+   triple.
+
+   The key is a digest of everything that determines the artifact and
+   nothing that doesn't:
+
+   - the {e canonicalized} source — the lexed token stream, so
+     whitespace and comment edits (and numerically identical float
+     literals) map to the same key;
+   - the pipeline name;
+   - the flags that steer compilation ([no_restrict]; [heap]
+     participates only when [emit_c] does, because the heap image is
+     baked into the emitted C and affects nothing else);
+   - the tool version ({!Fgv_support.Version.tool}) — the compiler
+     itself is the "logic behind" every artifact, so upgrading it must
+     invalidate the whole cache rather than serve stale codegen.
+
+   The request [id] is correlation metadata and deliberately absent.
+
+   Eviction is least-recently-used with a hard entry cap
+   ([--cache-max], version_manager's [max_versions]): every lookup
+   stamps the entry with a monotonic tick, and inserting past the cap
+   evicts the smallest stamp.  Stamps are unique, so eviction order is
+   deterministic whatever the hashtable's iteration order.
+
+   Failed compiles are never cached: an error response is cheap to
+   recompute and a cached failure would outlive transient causes. *)
+
+module Tm = Fgv_support.Telemetry
+module Version = Fgv_support.Version
+module Lexer = Fgv_frontend.Lexer
+
+let schema_version = Version.cache_schema
+
+(* ------------------------------------------------------ key derivation *)
+
+(* One token, rendered unambiguously: floats by IEEE bits (1.0 and 1.00
+   collide on purpose; 0.1 and 0.2 never), everything else by spelling.
+   Space-joining is injective because no token's rendering contains a
+   space. *)
+let token_repr = function
+  | Lexer.TInt n -> string_of_int n
+  | Lexer.TFloat x -> Printf.sprintf "f%Lx" (Int64.bits_of_float x)
+  | Lexer.TIdent s -> s
+  | Lexer.TPunct s -> s
+  | Lexer.TEOF -> "$"
+
+(* The canonical text the key hashes: the token stream when the source
+   lexes, the raw bytes (tagged, so the two spaces can't collide) when
+   it doesn't — an unlexable request still gets a stable key, it just
+   loses whitespace-insensitivity along with everything else. *)
+let canonical_source (src : string) : string =
+  match Lexer.tokenize src with
+  | tokens ->
+    String.concat " " (List.map token_repr (Array.to_list tokens))
+  | exception Lexer.Error _ -> "!raw\x00" ^ src
+
+let key (rq : Protocol.request) : string =
+  let fields =
+    [
+      Version.tool;
+      canonical_source rq.rq_source;
+      rq.rq_pipeline;
+      (if rq.rq_no_restrict then "no-restrict" else "restrict");
+      (if rq.rq_emit_c then Printf.sprintf "emit-c:%d" rq.rq_heap
+       else "no-c");
+    ]
+  in
+  Digest.to_hex (Digest.string (String.concat "\x00" fields))
+
+(* ------------------------------------------------------------ the cache *)
+
+type slot = {
+  mutable s_artifact : Protocol.artifact;
+  mutable s_stamp : int;
+}
+
+type t = {
+  tbl : (string, slot) Hashtbl.t;
+  max_entries : int;
+  mutable tick : int;
+  mutable evictions : int;  (** lifetime total, for the stats op *)
+}
+
+let default_max = 128
+
+let create ?(max_entries = default_max) () : t =
+  {
+    tbl = Hashtbl.create 64;
+    max_entries = max 1 max_entries;
+    tick = 0;
+    evictions = 0;
+  }
+
+let length (c : t) = Hashtbl.length c.tbl
+
+let evictions (c : t) = c.evictions
+
+let mem (c : t) (k : string) = Hashtbl.mem c.tbl k
+
+(* Lookup bumps recency; call order therefore defines the LRU order, so
+   the service touches entries in request order (deterministic at any
+   job count — workers never touch the cache). *)
+let find (c : t) (k : string) : Protocol.artifact option =
+  match Hashtbl.find_opt c.tbl k with
+  | None -> None
+  | Some slot ->
+    c.tick <- c.tick + 1;
+    slot.s_stamp <- c.tick;
+    Some slot.s_artifact
+
+let evict_lru (c : t) =
+  let victim =
+    Hashtbl.fold
+      (fun k slot acc ->
+        match acc with
+        | Some (_, stamp) when stamp <= slot.s_stamp -> acc
+        | _ -> Some (k, slot.s_stamp))
+      c.tbl None
+  in
+  match victim with
+  | None -> ()
+  | Some (k, _) ->
+    Hashtbl.remove c.tbl k;
+    c.evictions <- c.evictions + 1;
+    Tm.incr "service.cache.evictions"
+
+let insert (c : t) (k : string) (a : Protocol.artifact) : unit =
+  c.tick <- c.tick + 1;
+  (match Hashtbl.find_opt c.tbl k with
+  | Some slot ->
+    slot.s_artifact <- a;
+    slot.s_stamp <- c.tick
+  | None -> Hashtbl.replace c.tbl k { s_artifact = a; s_stamp = c.tick });
+  while Hashtbl.length c.tbl > c.max_entries do
+    evict_lru c
+  done

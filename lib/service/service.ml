@@ -1,0 +1,290 @@
+(* The compile-service loop (DESIGN §15): take {!Protocol} lines from a
+   channel or a Unix socket, fan distinct compiles across the
+   work-stealing {!Fgv_support.Pool}, answer from the content-addressed
+   {!Cache} when the key is already resolved.
+
+   Determinism contract: for a fixed request sequence the response byte
+   stream is identical at any [--jobs] count and whatever the cache has
+   absorbed, because
+
+   - each compile runs against an isolated telemetry registry and a
+     remark collector, so artifacts are pure functions of the request;
+   - worker shards are merged back in request order, never join order;
+   - cache recency/eviction is driven only from the coordinating domain,
+     in request order;
+   - responses carry no cache metadata and no timestamps.
+
+   Hit accounting (the only place cached and fresh diverge, and it is
+   out-of-band): a request whose key is already resolved in the cache is
+   a {e hit}; a duplicate of an earlier request in the same batch is
+   {e coalesced} (one compile serves all copies, but the cache cannot
+   take credit); everything else is a {e miss}.  So
+   hits + coalesced + misses = requests. *)
+
+module J = Fgv_support.Json
+module Tm = Fgv_support.Telemetry
+module Tr = Fgv_support.Trace
+module Pool = Fgv_support.Pool
+module Version = Fgv_support.Version
+module Lower_ast = Fgv_frontend.Lower_ast
+module P = Protocol
+
+type t = {
+  cache : Cache.t;
+  jobs : int;
+  mutable requests : int;
+  mutable batches : int;
+  mutable hits : int;
+  mutable coalesced : int;
+  mutable misses : int;
+  mutable errors : int;
+}
+
+let create ?(jobs = Pool.default_jobs ()) ?cache_max () : t =
+  {
+    cache = Cache.create ?max_entries:cache_max ();
+    jobs = max 1 jobs;
+    requests = 0;
+    batches = 0;
+    hits = 0;
+    coalesced = 0;
+    misses = 0;
+    errors = 0;
+  }
+
+(* ----------------------------------------------------------- compiling *)
+
+(* One cold compile: frontend, pipeline, verifier, optional C lowering.
+   Runs inside a pool worker under an isolated telemetry registry, so
+   the counter snapshot it returns is exactly this compile's.  Remarks
+   are collected rather than streamed: they belong to the artifact. *)
+let compile_artifact (rq : P.request) : (P.artifact, string) result =
+  match
+    ( (if rq.rq_no_restrict then Lower_ast.compile_no_restrict
+       else Lower_ast.compile)
+        rq.rq_source,
+      if rq.rq_pipeline = "none" then Some (fun ?on_pass:_ _f -> ())
+      else Fgv_passes.Pipelines.find rq.rq_pipeline )
+  with
+  | exception Fgv_frontend.Lexer.Error m -> Error ("lex error: " ^ m)
+  | exception Fgv_frontend.Parser.Error m -> Error ("parse error: " ^ m)
+  | exception Lower_ast.Error m -> Error ("lowering error: " ^ m)
+  | _, None ->
+    Error
+      (Printf.sprintf "unknown pipeline %s (one of: %s)" rq.rq_pipeline
+         (String.concat ", " ("none" :: Fgv_passes.Pipelines.names)))
+  | f, Some apply -> (
+    match Tr.collect_remarks (fun () -> apply ?on_pass:None f) with
+    | exception exn ->
+      Error ("pipeline crashed: " ^ Printexc.to_string exn)
+    | (), remarks -> (
+      match Fgv_pssa.Verifier.verify_or_message f with
+      | Some m -> Error ("optimized IR is ill-formed: " ^ m)
+      | None ->
+        let c =
+          if not rq.rq_emit_c then None
+          else
+            let mem =
+              Array.init rq.rq_heap (fun i ->
+                  Fgv_pssa.Value.VFloat (Float.of_int (i mod 7)))
+            in
+            Some (Fgv_backend.Emit.checked (Fgv_cfg.Lower.lower f) ~mem)
+        in
+        Ok
+          {
+            P.ar_func = f.Fgv_pssa.Ir.fname;
+            ar_ir = Fgv_pssa.Printer.to_string f;
+            ar_remarks = List.map Tr.remark_json remarks;
+            ar_c = c;
+            ar_counters = [];
+          }))
+
+(* ------------------------------------------------------------- batches *)
+
+type resolution =
+  | Hit of P.artifact  (** grabbed at classification, before any insert
+                           can evict it *)
+  | Await of [ `Miss | `Coalesced ]
+
+let handle_batch (t : t) (reqs : P.request list) : P.response list =
+  t.batches <- t.batches + 1;
+  Tm.incr "service.batches";
+  let keyed = List.map (fun rq -> (rq, Cache.key rq)) reqs in
+  (* Classify in request order; collect distinct unresolved keys in
+     first-occurrence order. *)
+  let pending = ref [] in
+  let pending_set = Hashtbl.create 16 in
+  let plan =
+    List.map
+      (fun (rq, key) ->
+        t.requests <- t.requests + 1;
+        Tm.incr "service.requests";
+        match Cache.find t.cache key with
+        | Some a ->
+          t.hits <- t.hits + 1;
+          Tm.incr "service.cache.hits";
+          Tr.remark (Tr.anchor a.P.ar_func)
+            (Tr.Cache_hit { key; pipeline = rq.P.rq_pipeline });
+          Hit a
+        | None ->
+          if Hashtbl.mem pending_set key then begin
+            t.coalesced <- t.coalesced + 1;
+            Tm.incr "service.cache.coalesced";
+            Await `Coalesced
+          end
+          else begin
+            t.misses <- t.misses + 1;
+            Tm.incr "service.cache.misses";
+            Hashtbl.add pending_set key ();
+            pending := (rq, key) :: !pending;
+            Await `Miss
+          end)
+      keyed
+  in
+  (* Compile the distinct misses in parallel, each against an isolated
+     telemetry registry; merge shards back in request order so the
+     global counters are deterministic at any job count. *)
+  let fresh = Hashtbl.create 16 in
+  (match List.rev !pending with
+  | [] -> ()
+  | pending ->
+    let compiled =
+      Pool.map ~jobs:t.jobs
+        (fun (rq, key) ->
+          let result, shard =
+            Tm.isolated (fun () ->
+                Tm.incr "service.compiles";
+                compile_artifact rq)
+          in
+          let result =
+            Result.map
+              (fun a -> { a with P.ar_counters = Tm.shard_counters shard })
+              result
+          in
+          (key, result, shard))
+        pending
+    in
+    List.iter
+      (fun (key, result, shard) ->
+        Tm.merge_shard shard;
+        Hashtbl.replace fresh key result;
+        match result with
+        | Ok a -> Cache.insert t.cache key a
+        | Error _ -> ())
+      compiled);
+  (* Answer in request order.  Failed compiles are not cached, but every
+     same-batch duplicate shares the one error. *)
+  List.map2
+    (fun (rq, key) resolution ->
+      match resolution with
+      | Hit a -> P.Compiled { id = rq.P.rq_id; artifact = a }
+      | Await _ -> (
+        match Hashtbl.find_opt fresh key with
+        | Some (Ok a) -> P.Compiled { id = rq.P.rq_id; artifact = a }
+        | Some (Error e) ->
+          t.errors <- t.errors + 1;
+          Tm.incr "service.errors";
+          P.Failed { id = rq.P.rq_id; error = e }
+        | None ->
+          t.errors <- t.errors + 1;
+          P.Failed { id = rq.P.rq_id; error = "internal: compile lost" }))
+    keyed plan
+
+let handle_request (t : t) (rq : P.request) : P.response =
+  match handle_batch t [ rq ] with [ r ] -> r | _ -> assert false
+
+(* ------------------------------------------------------------- control *)
+
+let ping_line (t : t) : string =
+  J.to_string ~minify:true
+    (J.Assoc
+       [
+         ("ok", J.Bool true);
+         ("version", J.String Version.banner);
+         ("protocol", J.Int P.protocol_version);
+         ("cache_schema", J.Int Cache.schema_version);
+         ("jobs", J.Int t.jobs);
+       ])
+
+let stats_line (t : t) : string =
+  J.to_string ~minify:true
+    (J.Assoc
+       [
+         ("ok", J.Bool true);
+         ("requests", J.Int t.requests);
+         ("batches", J.Int t.batches);
+         ("hits", J.Int t.hits);
+         ("coalesced", J.Int t.coalesced);
+         ("misses", J.Int t.misses);
+         ("errors", J.Int t.errors);
+         ("entries", J.Int (Cache.length t.cache));
+         ("evictions", J.Int (Cache.evictions t.cache));
+       ])
+
+type step = Reply of string | Quit of string
+
+(* One wire line in, one wire line out (plus whether to stop). *)
+let handle_line (t : t) (text : string) : step =
+  match P.decode_line text with
+  | P.Malformed e -> Reply (P.error_line e)
+  | P.Single rq -> Reply (P.response_line (handle_request t rq))
+  | P.Batch rqs ->
+    Reply
+      (J.to_string ~minify:true
+         (J.List (List.map P.encode_response (handle_batch t rqs))))
+  | P.Control "ping" -> Reply (ping_line t)
+  | P.Control "stats" -> Reply (stats_line t)
+  | P.Control _shutdown ->
+    Quit (J.to_string ~minify:true (J.Assoc [ ("ok", J.Bool true) ]))
+
+(* ----------------------------------------------------------- transports *)
+
+let serve_channel (t : t) (ic : in_channel) (oc : out_channel) :
+    [ `Eof | `Shutdown ] =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> `Eof
+    | line when String.trim line = "" -> loop ()
+    | line -> (
+      match handle_line t line with
+      | Reply s ->
+        output_string oc s;
+        output_char oc '\n';
+        flush oc;
+        loop ()
+      | Quit s ->
+        output_string oc s;
+        output_char oc '\n';
+        flush oc;
+        `Shutdown)
+  in
+  loop ()
+
+(* Unix-domain socket transport: connections are accepted and served one
+   at a time (the parallelism budget lives inside a batch, not across
+   clients), the cache persists across connections, and {"op":
+   "shutdown"} from any client stops the accept loop. *)
+let serve_socket (t : t) (path : string) : unit =
+  if Sys.unix then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      let rec accept_loop () =
+        let fd, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let outcome =
+          (* A client hanging up mid-reply is its problem, not ours. *)
+          try serve_channel t ic oc with Sys_error _ -> `Eof
+        in
+        (try close_out_noerr oc with Sys_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        match outcome with `Shutdown -> () | `Eof -> accept_loop ()
+      in
+      accept_loop ())

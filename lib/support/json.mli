@@ -28,3 +28,21 @@ val escape_string : string -> string
 val float_repr : float -> string
 (** The float formatting [to_string] uses: integral floats as ["3.0"],
     NaN as ["null"], infinities as out-of-range exponents. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of one JSON value (the full standard grammar; rejects
+    trailing garbage).  Returns [Error "at <pos>: <why>"] rather than
+    raising: the compile-service protocol answers malformed request
+    lines with error responses.  [test/harness.ml] keeps an independent
+    parser so the emitter is never validated only by its own inverse. *)
+
+(** {1 Object accessors}
+
+    Defaulting lookups over [Assoc] documents, for protocol decoding.
+    Each returns [None] when the member exists with the wrong type;
+    [default] applies only when the member is absent. *)
+
+val member : string -> t -> t option
+val string_member : ?default:string -> string -> t -> string option
+val int_member : ?default:int -> string -> t -> int option
+val bool_member : ?default:bool -> string -> t -> bool option

@@ -55,6 +55,7 @@ type remark =
   | Wish_denied of { client : string; wanted : string }
   | Store_eliminated of { forwarded : int; killed : int }
   | Loop_distributed of { pieces : int; conds : int }
+  | Cache_hit of { key : string; pipeline : string }
 
 type span_entry =
   | Sbegin of {
@@ -163,7 +164,7 @@ let chrome_trace () : Json.t =
     [
       ("traceEvents", Json.List (metadata @ List.map span_event_json entries));
       ("displayTimeUnit", Json.String "ms");
-      ("otherData", Json.Assoc [ ("schema_version", Json.Int 1) ]);
+      ("otherData", Json.Assoc [ ("schema_version", Json.Int Version.trace_schema) ]);
     ]
 
 let write_chrome_trace file =
@@ -223,6 +224,9 @@ let slug_and_payload :
   | Loop_distributed { pieces; conds } ->
     ( "loop-distributed",
       [ ("pieces", Json.Int pieces); ("conds", Json.Int conds) ] )
+  | Cache_hit { key; pipeline } ->
+    ( "cache-hit",
+      [ ("key", Json.String key); ("pipeline", Json.String pipeline) ] )
 
 let remark_json (a, r) : Json.t =
   let slug, payload = slug_and_payload r in
@@ -302,6 +306,9 @@ let remark_message = function
     Printf.sprintf
       "loop distributed into %d sub-loop(s) under %d run-time condition(s)"
       pieces conds
+  | Cache_hit { key; pipeline } ->
+    Printf.sprintf "served from artifact cache (pipeline %s, key %s)" pipeline
+      key
 
 let remark_text (a, r) =
   let loc =

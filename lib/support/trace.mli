@@ -106,6 +106,11 @@ type remark =
   | Loop_distributed of { pieces : int; conds : int }
       (** a loop was split into [pieces] independently schedulable
           sub-loops under [conds] run-time conditions *)
+  | Cache_hit of { key : string; pipeline : string }
+      (** the compile service answered a request from its
+          content-addressed artifact cache: [key] is the content hash
+          (DESIGN §15), [pipeline] the pipeline the artifact was
+          compiled with — no pass ran *)
 
 val remark : anchor -> remark -> unit
 (** Append to the calling domain's remark stream (no-op when remarks

@@ -1,0 +1,143 @@
+(* doc-check — the documentation linter wired into `dune runtest` and CI.
+
+   The README carries three machine-checked regions, delimited by HTML
+   comments so the prose around them stays free-form:
+
+     <!-- doc-check:pipelines:begin --> ... <!-- doc-check:pipelines:end -->
+     <!-- doc-check:flags:begin -->     ... <!-- doc-check:flags:end -->
+     <!-- doc-check:version:begin -->   ... <!-- doc-check:version:end -->
+
+   - the pipelines region's table rows (first cell, backtick-quoted)
+     must list exactly "none" plus {!Fgv_passes.Pipelines.names}, in
+     registry order — so adding a pipeline without documenting it fails
+     the build, as does documenting one that does not exist;
+   - the flags region must mention exactly the --flags `fgvc --help`
+     advertises (minus cmdliner's own --help/--version);
+   - the version region must quote the current
+     {!Fgv_support.Version.banner} verbatim, so schema-version bumps
+     cannot ship with stale docs.
+
+   Usage: doc_check README.md fgvc_help.txt
+   where fgvc_help.txt is `fgvc --help=plain` output (a dune rule
+   generates it from the freshly built driver).  Exits 1 with a
+   both-directions diff on drift. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let failures : string list ref = ref []
+
+let complain fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt
+
+(* The text between the begin/end markers of one doc-check region. *)
+let region (name : string) (text : string) : string option =
+  let b = Printf.sprintf "<!-- doc-check:%s:begin -->" name in
+  let e = Printf.sprintf "<!-- doc-check:%s:end -->" name in
+  let find needle =
+    try Some (Str.search_forward (Str.regexp_string needle) text 0)
+    with Not_found -> None
+  in
+  match (find b, find e) with
+  | Some i, Some j when i < j ->
+    let start = i + String.length b in
+    Some (String.sub text start (j - start))
+  | _ ->
+    complain "README is missing the %s / %s markers" b e;
+    None
+
+let sorted_unique l = List.sort_uniq compare l
+
+let all_matches re text =
+  let rec go acc pos =
+    match Str.search_forward re text pos with
+    | exception Not_found -> List.rev acc
+    | i -> go (Str.matched_string text :: acc) (i + 1)
+  in
+  go [] 0
+
+(* Set difference rendered for the failure message. *)
+let missing_from ~where expected actual =
+  List.iter
+    (fun x ->
+      if not (List.mem x actual) then complain "%s is missing %s" where x)
+    expected
+
+let check_pipelines readme =
+  match region "pipelines" readme with
+  | None -> ()
+  | Some body ->
+    let expected = "none" :: Fgv_passes.Pipelines.names in
+    (* First cell of each table row, `name`-quoted. *)
+    let documented =
+      List.filter_map
+        (fun line ->
+          let line = String.trim line in
+          if Str.string_match (Str.regexp "^| *`\\([^`]+\\)` *|") line 0
+          then Some (Str.matched_group 1 line)
+          else None)
+        (String.split_on_char '\n' body)
+    in
+    if documented <> expected then begin
+      missing_from ~where:"README pipeline table" expected documented;
+      missing_from ~where:"the pipeline registry" documented expected;
+      if sorted_unique documented = sorted_unique expected then
+        complain
+          "README pipeline table lists all pipelines but not in registry \
+           order: %s"
+          (String.concat ", " documented)
+    end
+
+let flag_re = Str.regexp "--[a-z][a-z0-9-]*"
+
+let check_flags readme help =
+  match region "flags" readme with
+  | None -> ()
+  | Some body ->
+    let advertised =
+      sorted_unique (all_matches flag_re help)
+      |> List.filter (fun f -> f <> "--help" && f <> "--version")
+    in
+    let documented = sorted_unique (all_matches flag_re body) in
+    missing_from ~where:"README flag reference" advertised documented;
+    missing_from ~where:"fgvc --help" documented advertised
+
+let check_version readme =
+  match region "version" readme with
+  | None -> ()
+  | Some body ->
+    let banner = Fgv_support.Version.banner in
+    if
+      not
+        (try
+           ignore (Str.search_forward (Str.regexp_string banner) body 0);
+           true
+         with Not_found -> false)
+    then
+      complain
+        "README version region does not quote the current banner %S" banner
+
+let () =
+  let readme_path, help_path =
+    match Sys.argv with
+    | [| _; r; h |] -> (r, h)
+    | _ ->
+      prerr_endline "usage: doc_check README.md fgvc_help.txt";
+      exit 2
+  in
+  let readme = read_file readme_path in
+  let help = read_file help_path in
+  check_pipelines readme;
+  check_flags readme help;
+  check_version readme;
+  match List.rev !failures with
+  | [] -> print_endline "doc-check: README agrees with the tool"
+  | fs ->
+    List.iter (fun f -> Printf.eprintf "doc-check: %s\n" f) fs;
+    Printf.eprintf "doc-check: %d problem(s) — README.md and the driver \
+                    have drifted\n"
+      (List.length fs);
+    exit 1

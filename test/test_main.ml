@@ -20,4 +20,5 @@ let () =
       ("backend", Test_backend.suite);
       ("condopt", Test_condopt.suite);
       ("interp", Test_interp.suite);
+      ("service", Test_service.suite);
     ]
