@@ -31,6 +31,7 @@ module W = Fgv_bench.Workload
 module Tm = Fgv_support.Telemetry
 module Tr = Fgv_support.Trace
 module J = Fgv_support.Json
+module H = Fgv_support.Histogram
 module G = Fgv_fuzz.Generator
 open Fgv_pssa
 
@@ -338,6 +339,8 @@ type ct_row = {
   ct_wall_s : float;
   ct_minor_words : float;
   ct_counters : (string * int) list;
+  ct_hists : (string * H.t) list;
+      (* per-timer latency histograms the row's isolated shard captured *)
 }
 
 (* A lane row: a program source plus the pipeline it is compiled with
@@ -416,7 +419,8 @@ let ct_run_row spec : ct_row =
   in
   Tm.merge_shard shard;
   { ct_name = spec.cs_name; ct_wall_s = wall; ct_minor_words = words;
-    ct_counters = Tm.shard_counters shard }
+    ct_counters = Tm.shard_counters shard;
+    ct_hists = Tm.shard_timer_histograms shard }
 
 let run_compiletime () =
   Tr.with_span ~cat:"figure" "compiletime" @@ fun () ->
@@ -462,6 +466,11 @@ let run_compiletime () =
                           [
                             ("wall_s", J.Float r.ct_wall_s);
                             ("minor_words", J.Float r.ct_minor_words);
+                            ( "histograms",
+                              J.Assoc
+                                (List.map
+                                   (fun (n, h) -> (n, H.to_json h))
+                                   r.ct_hists) );
                           ] );
                       ("counters", counters_json r.ct_counters);
                     ])
@@ -511,37 +520,34 @@ let svc_requests () =
   let distinct = List.init svc_distinct mk in
   List.concat (List.init svc_repeats (fun _ -> distinct))
 
-let percentile p xs =
-  let a = Array.of_list xs in
-  Array.sort compare a;
-  let n = Array.length a in
-  a.(min (n - 1) (int_of_float (ceil (p /. 100. *. float_of_int n)) - 1))
-
 let run_service () =
   Tr.with_span ~cat:"figure" "service" @@ fun () ->
   let module S = Fgv_service.Service in
   let reqs = svc_requests () in
-  let (svc, cold_wall, warm_wall, latencies), delta =
+  (* Client-side view: one log-bucketed histogram over every request's
+     round-trip latency (lib/support/histogram.ml) — quantiles and the
+     bucket counts the JSON figure carries both come from it. *)
+  let lat = H.create () in
+  let (svc, cold_wall, warm_wall), delta =
     Tm.capture (fun () ->
         let svc = S.create ~jobs:!jobs () in
-        let latencies = ref [] in
         let drive () =
           let t0 = Unix.gettimeofday () in
           List.iter
             (fun rq ->
               let r0 = Unix.gettimeofday () in
               ignore (S.handle_request svc rq);
-              latencies := (Unix.gettimeofday () -. r0) :: !latencies)
+              H.record lat (Unix.gettimeofday () -. r0))
             reqs;
           Unix.gettimeofday () -. t0
         in
         let cold_wall = drive () in
         let warm_wall = drive () in
-        (svc, cold_wall, warm_wall, List.rev !latencies))
+        (svc, cold_wall, warm_wall))
   in
   let requests = svc.S.requests in
   let hit_rate = float_of_int svc.S.hits /. float_of_int requests in
-  let p50 = percentile 50. latencies and p99 = percentile 99. latencies in
+  let p50 = H.quantile lat 0.5 and p99 = H.quantile lat 0.99 in
   let speedup = cold_wall /. warm_wall in
   section "Compile service (repeat-heavy mix)"
     (Printf.sprintf
@@ -570,6 +576,7 @@ let run_service () =
                ("warmup_speedup", J.Float speedup);
                ("p50_s", J.Float p50);
                ("p99_s", J.Float p99);
+               ("latency", H.to_json lat);
              ] );
          ("counters", counters_json delta);
        ])

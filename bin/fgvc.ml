@@ -42,6 +42,7 @@ module P = Fgv_passes
 module F = Fgv_fuzz
 module Tm = Fgv_support.Telemetry
 module Tr = Fgv_support.Trace
+module Ev = Fgv_support.Eventlog
 module N = Fgv_backend.Native
 module Udiff = Fgv_support.Udiff
 
@@ -69,9 +70,10 @@ let print_stats stats =
 
 (* ----------------------------------------------------- observability *)
 
-(* Enable span/remark recording per the flags; returns a finalizer that
-   writes the trace file and prints the remark stream. *)
-let setup_observability trace remarks =
+(* Enable span/remark recording and the structured event log per the
+   flags; returns a finalizer that writes the trace file, prints the
+   remark stream, and closes the log. *)
+let setup_observability trace remarks log =
   (match remarks with
   | None | Some "text" | Some "json" -> ()
   | Some other ->
@@ -80,12 +82,21 @@ let setup_observability trace remarks =
     exit 2);
   if trace <> None then Tr.set_spans true;
   if remarks <> None then Tr.set_remarks true;
+  (match log with
+  | None -> ()
+  | Some spec -> (
+    match Ev.parse_spec spec with
+    | Ok (path, level) -> Ev.open_log ~path ~level
+    | Error e ->
+      Printf.eprintf "fgvc: bad --log argument %s: %s\n" spec e;
+      exit 2));
   fun () ->
     (match remarks with
     | Some "json" -> print_string (Tr.remarks_jsonl ())
     | Some _ -> print_string (Tr.remarks_report ())
     | None -> ());
-    match trace with Some file -> Tr.write_chrome_trace file | None -> ()
+    (match trace with Some file -> Tr.write_chrome_trace file | None -> ());
+    Ev.close ()
 
 (* Per-pass IR snapshots: DIR/000-input.pssa, then NNN-<pass>.pssa and a
    unified NNN-<pass>.diff for every stage that changed the printed IR. *)
@@ -241,13 +252,23 @@ let run_native_differential (f : Ir.func) ~(argv : Value.t list) ~fresh_mem =
 
 (* ------------------------------------------------------- service mode *)
 
-let run_serve socket cache_max stats jobs finalize =
+let run_serve socket cache_max stats jobs slow_ms finalize =
   let module S = Fgv_service.Service in
   let svc =
     S.create
       ?jobs:(if jobs = 0 then None else Some jobs)
-      ~cache_max ()
+      ?slow_ms ~cache_max ()
   in
+  (* No jobs field here: the serve-start record is part of the log's
+     deterministic (non-timing) projection, which must not vary with
+     --jobs (DESIGN §16). *)
+  Ev.emit Ev.Info "serve-start"
+    [
+      ( "transport",
+        Fgv_support.Json.String
+          (match socket with Some _ -> "socket" | None -> "stdin") );
+      ("cache_max", Int cache_max);
+    ];
   (match socket with
   | Some path -> S.serve_socket svc path
   | None -> ignore (S.serve_channel svc stdin stdout));
@@ -260,12 +281,19 @@ let run_serve socket cache_max stats jobs finalize =
 
 let run_driver file fuzz seed fuzz_report fuzz_native pipeline dump_ir
     dump_cfg run args heap no_restrict emit_c run_native stats jobs trace
-    remarks serve socket stdin_proto cache_max =
-  let finalize = setup_observability trace remarks in
+    remarks serve socket stdin_proto cache_max log slow_ms =
+  let finalize = setup_observability trace remarks log in
   if serve || stdin_proto || socket <> None then
-    run_serve socket cache_max stats jobs finalize
-  else if fuzz > 0 then
+    run_serve socket cache_max stats jobs slow_ms finalize
+  else if fuzz > 0 then begin
+    Ev.emit Ev.Info "fuzz-campaign"
+      [
+        ("n", Fgv_support.Json.Int fuzz);
+        ("seed", Int seed);
+        ("pipeline", String pipeline);
+      ];
     run_fuzz fuzz seed pipeline fuzz_report stats jobs fuzz_native finalize
+  end
   else begin
   let file =
     match file with
@@ -274,6 +302,12 @@ let run_driver file fuzz seed fuzz_report fuzz_native pipeline dump_ir
       Printf.eprintf "fgvc: expected a kernel FILE (or --fuzz N)\n";
       exit 2
   in
+  Ev.emit Ev.Info "compile"
+    [
+      ("file", Fgv_support.Json.String file);
+      ("pipeline", String pipeline);
+      ("no_restrict", Bool no_restrict);
+    ];
   let source =
     let ic = open_in file in
     let n = in_channel_length ic in
@@ -509,6 +543,29 @@ let cache_max_opt =
           "with the compile service: keep at most $(docv) artifacts in the \
            cache, evicting least-recently-used entries past that")
 
+let log_opt =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log" ] ~docv:"FILE[=LEVEL]"
+        ~doc:
+          "write a structured JSON-lines event log to $(docv): one object \
+           per event (compiles, fuzz campaigns, service start, one access \
+           record per service request), at $(b,debug), $(b,info) (default) \
+           or $(b,warn) level.  Wall-clock data lives only under each \
+           event's $(b,timing) member, so the rest of the log is \
+           byte-identical at any --jobs count")
+
+let slow_ms_opt =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "with the compile service: emit a warn-level $(b,slow-request) \
+           event to the $(b,--log) file for every request that takes longer \
+           than $(docv) milliseconds")
+
 let cmd =
   let doc = "compile and run mini-C kernels with fine-grained program versioning" in
   let man =
@@ -531,14 +588,20 @@ let cmd =
          canonicalized source, pipeline, flags, tool version) with LRU \
          eviction at $(b,--cache-max) entries; cached responses are \
          byte-identical to fresh ones.  {\"op\": \"ping\"|\"stats\"|\
-         \"shutdown\"} are control lines.";
+         \"metrics\"|\"shutdown\"} are control lines; $(b,metrics) returns \
+         counters, cache stats, and request-latency histograms (add \
+         \"format\":\"text\" for a Prometheus-style exposition).";
       `S "OBSERVABILITY";
       `P
         "$(b,--trace) FILE writes a Chrome trace-event JSON of the \
-         compilation's span hierarchy.  $(b,--remarks)[=$(b,json)] prints \
-         the optimization-remark stream.  $(b,--dump-ir)=DIR writes \
+         compilation's span hierarchy (the service adds per-request spans \
+         tagged with their sequence number).  $(b,--remarks)[=$(b,json)] \
+         prints the optimization-remark stream.  $(b,--dump-ir)=DIR writes \
          before/after IR snapshots and unified diffs per pass.  \
-         $(b,--stats)[=$(b,json)] prints the telemetry registry.";
+         $(b,--stats)[=$(b,json)] prints the telemetry registry, each timer \
+         with a latency histogram.  $(b,--log) FILE[=LEVEL] writes the \
+         structured event log; $(b,--slow-ms) N flags slow service \
+         requests in it.";
       `S Manpage.s_exit_status;
       `P "0 on success;";
       `P "2 on usage errors (unknown pipeline, bad format argument);";
@@ -556,6 +619,6 @@ let cmd =
       $ fuzz_native_opt $ pipeline $ dump_ir $ dump_cfg $ run_flag $ args_opt
       $ heap_opt $ no_restrict $ emit_c_opt $ run_native_opt $ stats_opt
       $ jobs_opt $ trace_opt $ remarks_opt $ serve_opt $ socket_opt
-      $ stdin_proto_opt $ cache_max_opt)
+      $ stdin_proto_opt $ cache_max_opt $ log_opt $ slow_ms_opt)
 
 let () = exit (Cmd.eval' cmd)

@@ -70,7 +70,7 @@ let run_stages ?on_pass (f : Ir.func) (stages : stage list) : unit =
   List.iter
     (fun (name, run) ->
       let work = Tr.with_span ~cat:"pass" name run in
-      if Tr.remarks_on () then begin
+      if Tr.remarks_recording () then begin
         let a = Tr.anchor f.Ir.fname in
         match List.filter (fun (_, n) -> n > 0) work with
         | [] ->

@@ -97,6 +97,8 @@ let create ?(max_entries = default_max) () : t =
 
 let length (c : t) = Hashtbl.length c.tbl
 
+let capacity (c : t) = c.max_entries
+
 let evictions (c : t) = c.evictions
 
 let mem (c : t) (k : string) = Hashtbl.mem c.tbl k

@@ -3,7 +3,9 @@
 
    - a compile request (a JSON object with a "source" member),
    - a batch of compile requests (a JSON array of such objects), or
-   - a control operation ({"op": "ping" | "stats" | "shutdown"}).
+   - a control operation
+     ({"op": "ping" | "stats" | "metrics" | "shutdown"}; metrics takes
+     an optional "format": "json" | "text").
 
    A request line yields one response line; a batch line yields one
    JSON-array line of responses in request order.  Responses carry {b
@@ -120,10 +122,27 @@ let response_line (r : response) : string =
 
 (* ------------------------------------------------------------- control *)
 
+(* The metrics snapshot is served as JSON by default; "text" asks for a
+   Prometheus-style exposition (DESIGN §16) carried in the reply's
+   "body" member, so the wire framing stays one JSON line either way. *)
+type metrics_format = Mjson | Mtext
+
+type control =
+  | Cping
+  | Cstats
+  | Cmetrics of metrics_format
+  | Cshutdown
+
+let control_name = function
+  | Cping -> "ping"
+  | Cstats -> "stats"
+  | Cmetrics _ -> "metrics"
+  | Cshutdown -> "shutdown"
+
 type line =
   | Single of request
   | Batch of request list
-  | Control of string  (** "ping" | "stats" | "shutdown" *)
+  | Control of control
   | Malformed of string
 
 (* Classify one wire line.  A batch with a malformed element is rejected
@@ -147,7 +166,15 @@ let decode_line (text : string) : line =
     | items -> decode [] items)
   | Ok j -> (
     match J.string_member "op" j with
-    | Some ("ping" | "stats" | "shutdown" as op) -> Control op
+    | Some "ping" -> Control Cping
+    | Some "stats" -> Control Cstats
+    | Some "metrics" -> (
+      match J.string_member ~default:"json" "format" j with
+      | Some "json" -> Control (Cmetrics Mjson)
+      | Some "text" -> Control (Cmetrics Mtext)
+      | Some f -> Malformed ("unknown metrics format " ^ f)
+      | None -> Malformed "\"format\" must be a string")
+    | Some "shutdown" -> Control Cshutdown
     | Some op -> Malformed ("unknown op " ^ op)
     | None -> (
       match decode_request j with

@@ -24,6 +24,8 @@
 module J = Fgv_support.Json
 module Tm = Fgv_support.Telemetry
 module Tr = Fgv_support.Trace
+module H = Fgv_support.Histogram
+module Ev = Fgv_support.Eventlog
 module Pool = Fgv_support.Pool
 module Version = Fgv_support.Version
 module Lower_ast = Fgv_frontend.Lower_ast
@@ -32,6 +34,11 @@ module P = Protocol
 type t = {
   cache : Cache.t;
   jobs : int;
+  slow_ms : float option;
+      (** emit a warn-level event when a request exceeds this *)
+  started : float;  (** wall clock at {!create}, for metrics uptime *)
+  h_request : H.t;  (** per-request service latency (coordinator-only) *)
+  h_batch : H.t;  (** whole-batch wall time (coordinator-only) *)
   mutable requests : int;
   mutable batches : int;
   mutable hits : int;
@@ -40,10 +47,14 @@ type t = {
   mutable errors : int;
 }
 
-let create ?(jobs = Pool.default_jobs ()) ?cache_max () : t =
+let create ?(jobs = Pool.default_jobs ()) ?cache_max ?slow_ms () : t =
   {
     cache = Cache.create ?max_entries:cache_max ();
     jobs = max 1 jobs;
+    slow_ms;
+    started = Unix.gettimeofday ();
+    h_request = H.create ();
+    h_batch = H.create ();
     requests = 0;
     batches = 0;
     hits = 0;
@@ -102,30 +113,49 @@ let compile_artifact (rq : P.request) : (P.artifact, string) result =
 (* ------------------------------------------------------------- batches *)
 
 type resolution =
-  | Hit of P.artifact  (** grabbed at classification, before any insert
-                           can evict it *)
+  | Hit of P.artifact * float
+      (** artifact grabbed at classification, before any insert can
+          evict it, plus the lookup's wall seconds *)
   | Await of [ `Miss | `Coalesced ]
+
+(* Outcome slug for access-log records and slow-request warnings. *)
+let resolution_name = function
+  | Hit _ -> "hit"
+  | Await `Miss -> "miss"
+  | Await `Coalesced -> "coalesced"
 
 let handle_batch (t : t) (reqs : P.request list) : P.response list =
   t.batches <- t.batches + 1;
   Tm.incr "service.batches";
+  let batch_start = Unix.gettimeofday () in
+  let seq_base = t.requests in
+  (* seq of the i-th request of this batch, monotonic per service *)
+  let seq i = seq_base + i + 1 in
   let keyed = List.map (fun rq -> (rq, Cache.key rq)) reqs in
   (* Classify in request order; collect distinct unresolved keys in
-     first-occurrence order. *)
+     first-occurrence order (tagged with their request seq so worker
+     spans can carry it). *)
   let pending = ref [] in
   let pending_set = Hashtbl.create 16 in
   let plan =
-    List.map
-      (fun (rq, key) ->
+    List.mapi
+      (fun i (rq, key) ->
         t.requests <- t.requests + 1;
         Tm.incr "service.requests";
-        match Cache.find t.cache key with
+        let t0 = Unix.gettimeofday () in
+        match
+          Tr.with_span ~cat:"service"
+            ~args:[ ("seq", J.Int (seq i)) ]
+            "service.lookup"
+            (fun () -> Cache.find t.cache key)
+        with
         | Some a ->
+          let dt = Unix.gettimeofday () -. t0 in
           t.hits <- t.hits + 1;
           Tm.incr "service.cache.hits";
           Tr.remark (Tr.anchor a.P.ar_func)
             (Tr.Cache_hit { key; pipeline = rq.P.rq_pipeline });
-          Hit a
+          Hit (a, dt)
         | None ->
           if Hashtbl.mem pending_set key then begin
             t.coalesced <- t.coalesced + 1;
@@ -136,59 +166,126 @@ let handle_batch (t : t) (reqs : P.request list) : P.response list =
             t.misses <- t.misses + 1;
             Tm.incr "service.cache.misses";
             Hashtbl.add pending_set key ();
-            pending := (rq, key) :: !pending;
+            pending := (rq, key, seq i) :: !pending;
             Await `Miss
           end)
       keyed
   in
   (* Compile the distinct misses in parallel, each against an isolated
      telemetry registry; merge shards back in request order so the
-     global counters are deterministic at any job count. *)
+     global counters are deterministic at any job count.  Each compile
+     is a trace span carrying its request seq, and its wall seconds
+     ride back with the result for the access log (a coalesced
+     duplicate shares the one compile's duration). *)
   let fresh = Hashtbl.create 16 in
   (match List.rev !pending with
   | [] -> ()
   | pending ->
     let compiled =
       Pool.map ~jobs:t.jobs
-        (fun (rq, key) ->
+        (fun (rq, key, sq) ->
+          let t0 = Unix.gettimeofday () in
           let result, shard =
-            Tm.isolated (fun () ->
-                Tm.incr "service.compiles";
-                compile_artifact rq)
+            Tr.with_span ~cat:"service"
+              ~args:
+                [ ("seq", J.Int sq); ("pipeline", J.String rq.P.rq_pipeline) ]
+              "service.compile"
+              (fun () ->
+                Tm.isolated (fun () ->
+                    Tm.incr "service.compiles";
+                    compile_artifact rq))
           in
           let result =
             Result.map
               (fun a -> { a with P.ar_counters = Tm.shard_counters shard })
               result
           in
-          (key, result, shard))
+          (key, result, shard, Unix.gettimeofday () -. t0))
         pending
     in
     List.iter
-      (fun (key, result, shard) ->
+      (fun (key, result, shard, dur) ->
         Tm.merge_shard shard;
-        Hashtbl.replace fresh key result;
+        Hashtbl.replace fresh key (result, dur);
         match result with
         | Ok a -> Cache.insert t.cache key a
         | Error _ -> ())
       compiled);
   (* Answer in request order.  Failed compiles are not cached, but every
      same-batch duplicate shares the one error. *)
-  List.map2
-    (fun (rq, key) resolution ->
-      match resolution with
-      | Hit a -> P.Compiled { id = rq.P.rq_id; artifact = a }
-      | Await _ -> (
-        match Hashtbl.find_opt fresh key with
-        | Some (Ok a) -> P.Compiled { id = rq.P.rq_id; artifact = a }
-        | Some (Error e) ->
-          t.errors <- t.errors + 1;
-          Tm.incr "service.errors";
-          P.Failed { id = rq.P.rq_id; error = e }
-        | None ->
-          t.errors <- t.errors + 1;
-          P.Failed { id = rq.P.rq_id; error = "internal: compile lost" }))
-    keyed plan
+  let responses =
+    List.map2
+      (fun (rq, key) resolution ->
+        match resolution with
+        | Hit (a, _) -> P.Compiled { id = rq.P.rq_id; artifact = a }
+        | Await _ -> (
+          match Hashtbl.find_opt fresh key with
+          | Some (Ok a, _) -> P.Compiled { id = rq.P.rq_id; artifact = a }
+          | Some (Error e, _) ->
+            t.errors <- t.errors + 1;
+            Tm.incr "service.errors";
+            P.Failed { id = rq.P.rq_id; error = e }
+          | None ->
+            t.errors <- t.errors + 1;
+            P.Failed { id = rq.P.rq_id; error = "internal: compile lost" }))
+      keyed plan
+  in
+  (* Access log + latency histograms, in request order, coordinator
+     only — the event file's line order matches seq at any job count.
+     Every field except the [timing] member is a pure function of the
+     request stream (DESIGN §16); a coalesced request reports its
+     provider's compile duration. *)
+  let duration_of key = function
+    | Hit (_, dt) -> dt
+    | Await _ -> (
+      match Hashtbl.find_opt fresh key with Some (_, d) -> d | None -> 0.0)
+  in
+  List.iteri
+    (fun i ((rq, key), (resolution, response)) ->
+      let dur = duration_of key resolution in
+      H.record t.h_request dur;
+      let outcome = resolution_name resolution in
+      if Ev.enabled Ev.Info then
+        Ev.emit Ev.Info "access"
+          ([
+             ("seq", J.Int (seq i));
+             ("outcome", String outcome);
+             ("pipeline", String rq.P.rq_pipeline);
+             ("key", String key);
+           ]
+          @
+          match response with
+          | P.Compiled { artifact = a; _ } ->
+            [
+              ("ok", J.Bool true);
+              ("function", String a.P.ar_func);
+              ("remarks", Int (List.length a.P.ar_remarks));
+              ("counters", Int (List.length a.P.ar_counters));
+            ]
+          | P.Failed { error; _ } ->
+            [ ("ok", J.Bool false); ("error", String error) ])
+          ~timing:[ ("duration_s", J.Float dur) ];
+      match t.slow_ms with
+      | Some threshold when dur *. 1000.0 > threshold ->
+        Ev.emit Ev.Warn "slow-request"
+          [
+            ("seq", J.Int (seq i));
+            ("outcome", String outcome);
+            ("key", String key);
+            ("threshold_ms", Float threshold);
+          ]
+          ~timing:[ ("duration_s", J.Float dur) ]
+      | _ -> ())
+    (List.combine keyed (List.combine plan responses));
+  let batch_dur = Unix.gettimeofday () -. batch_start in
+  H.record t.h_batch batch_dur;
+  Ev.emit Ev.Debug "batch"
+    [
+      ("size", J.Int (List.length reqs));
+      ("compiles", Int (Hashtbl.length fresh));
+    ]
+    ~timing:[ ("duration_s", J.Float batch_dur) ];
+  responses
 
 let handle_request (t : t) (rq : P.request) : P.response =
   match handle_batch t [ rq ] with [ r ] -> r | _ -> assert false
@@ -206,20 +303,151 @@ let ping_line (t : t) : string =
          ("jobs", J.Int t.jobs);
        ])
 
+(* One snapshot type feeds both {"op":"stats"} and {"op":"metrics"}
+   (both formats), so the two endpoints cannot drift: every field here
+   is a deterministic function of the request stream — wall-clock data
+   (uptime, the latency histograms) is added only by the metrics
+   encoders, under their "timing" member. *)
+type snapshot = {
+  sn_requests : int;
+  sn_batches : int;
+  sn_hits : int;
+  sn_coalesced : int;
+  sn_misses : int;
+  sn_errors : int;
+  sn_entries : int;
+  sn_capacity : int;
+  sn_evictions : int;
+}
+
+let snapshot (t : t) : snapshot =
+  {
+    sn_requests = t.requests;
+    sn_batches = t.batches;
+    sn_hits = t.hits;
+    sn_coalesced = t.coalesced;
+    sn_misses = t.misses;
+    sn_errors = t.errors;
+    sn_entries = Cache.length t.cache;
+    sn_capacity = Cache.capacity t.cache;
+    sn_evictions = Cache.evictions t.cache;
+  }
+
+let hit_rate (sn : snapshot) : float =
+  if sn.sn_requests = 0 then 0.0
+  else float_of_int sn.sn_hits /. float_of_int sn.sn_requests
+
 let stats_line (t : t) : string =
+  let sn = snapshot t in
   J.to_string ~minify:true
     (J.Assoc
        [
          ("ok", J.Bool true);
-         ("requests", J.Int t.requests);
-         ("batches", J.Int t.batches);
-         ("hits", J.Int t.hits);
-         ("coalesced", J.Int t.coalesced);
-         ("misses", J.Int t.misses);
-         ("errors", J.Int t.errors);
-         ("entries", J.Int (Cache.length t.cache));
-         ("evictions", J.Int (Cache.evictions t.cache));
+         ("requests", J.Int sn.sn_requests);
+         ("batches", J.Int sn.sn_batches);
+         ("hits", J.Int sn.sn_hits);
+         ("coalesced", J.Int sn.sn_coalesced);
+         ("misses", J.Int sn.sn_misses);
+         ("errors", J.Int sn.sn_errors);
+         ("entries", J.Int sn.sn_entries);
+         ("capacity", J.Int sn.sn_capacity);
+         ("evictions", J.Int sn.sn_evictions);
        ])
+
+(* {"op":"metrics"}: the same snapshot plus the latency histograms and
+   uptime — everything wall-derived under "timing", so the non-timing
+   projection is byte-identical at any --jobs (DESIGN §16). *)
+let metrics_json (t : t) : J.t =
+  let sn = snapshot t in
+  J.Assoc
+    [
+      ("ok", J.Bool true);
+      ("schema", J.Int Version.metrics_schema);
+      ( "counters",
+        J.Assoc
+          [
+            ("requests", J.Int sn.sn_requests);
+            ("batches", J.Int sn.sn_batches);
+            ("hits", J.Int sn.sn_hits);
+            ("coalesced", J.Int sn.sn_coalesced);
+            ("misses", J.Int sn.sn_misses);
+            ("errors", J.Int sn.sn_errors);
+          ] );
+      ( "cache",
+        J.Assoc
+          [
+            ("entries", J.Int sn.sn_entries);
+            ("capacity", J.Int sn.sn_capacity);
+            ("evictions", J.Int sn.sn_evictions);
+            ("hit_rate", J.Float (hit_rate sn));
+          ] );
+      ( "timing",
+        J.Assoc
+          [
+            ("uptime_s", J.Float (Unix.gettimeofday () -. t.started));
+            ( "histograms",
+              J.Assoc
+                [
+                  ("request", H.to_json t.h_request);
+                  ("batch", H.to_json t.h_batch);
+                ] );
+          ] );
+    ]
+
+(* Prometheus-style text exposition of the same snapshot.  Histograms
+   use the standard cumulative _bucket{le=...} encoding; there is no
+   _sum series because histograms deliberately keep no float sum (see
+   Histogram). *)
+let metrics_text (t : t) : string =
+  let sn = snapshot t in
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let scalar name kind v = line "# TYPE %s %s" name kind; line "%s %s" name v in
+  let counter name v = scalar name "counter" (string_of_int v) in
+  let gauge name v = scalar name "gauge" v in
+  let prom_float v =
+    match J.float_repr v with "1e999" -> "+Inf" | "-1e999" -> "-Inf" | s -> s
+  in
+  let histogram name h =
+    line "# TYPE %s histogram" name;
+    let cum = ref 0 in
+    List.iter
+      (fun (_, hi, c) ->
+        cum := !cum + c;
+        if hi <> infinity then
+          line "%s_bucket{le=\"%s\"} %d" name (prom_float hi) !cum)
+      (H.buckets h);
+    line "%s_bucket{le=\"+Inf\"} %d" name (H.count h);
+    line "%s_count %d" name (H.count h)
+  in
+  counter "fgv_requests_total" sn.sn_requests;
+  counter "fgv_batches_total" sn.sn_batches;
+  counter "fgv_cache_hits_total" sn.sn_hits;
+  counter "fgv_cache_coalesced_total" sn.sn_coalesced;
+  counter "fgv_cache_misses_total" sn.sn_misses;
+  counter "fgv_errors_total" sn.sn_errors;
+  gauge "fgv_cache_entries" (string_of_int sn.sn_entries);
+  gauge "fgv_cache_capacity" (string_of_int sn.sn_capacity);
+  counter "fgv_cache_evictions_total" sn.sn_evictions;
+  gauge "fgv_cache_hit_rate" (prom_float (hit_rate sn));
+  gauge "fgv_uptime_seconds"
+    (prom_float (Unix.gettimeofday () -. t.started));
+  histogram "fgv_request_duration_seconds" t.h_request;
+  histogram "fgv_batch_duration_seconds" t.h_batch;
+  Buffer.contents buf
+
+let metrics_line (t : t) (fmt : P.metrics_format) : string =
+  match fmt with
+  | P.Mjson -> J.to_string ~minify:true (metrics_json t)
+  | P.Mtext ->
+    J.to_string ~minify:true
+      (J.Assoc
+         [
+           ("ok", J.Bool true);
+           ("schema", J.Int Version.metrics_schema);
+           ("format", J.String "text");
+           ("body", J.String (metrics_text t));
+         ])
 
 type step = Reply of string | Quit of string
 
@@ -232,10 +460,14 @@ let handle_line (t : t) (text : string) : step =
     Reply
       (J.to_string ~minify:true
          (J.List (List.map P.encode_response (handle_batch t rqs))))
-  | P.Control "ping" -> Reply (ping_line t)
-  | P.Control "stats" -> Reply (stats_line t)
-  | P.Control _shutdown ->
-    Quit (J.to_string ~minify:true (J.Assoc [ ("ok", J.Bool true) ]))
+  | P.Control c -> (
+    Ev.emit Ev.Debug "control" [ ("op", J.String (P.control_name c)) ];
+    match c with
+    | P.Cping -> Reply (ping_line t)
+    | P.Cstats -> Reply (stats_line t)
+    | P.Cmetrics fmt -> Reply (metrics_line t fmt)
+    | P.Cshutdown ->
+      Quit (J.to_string ~minify:true (J.Assoc [ ("ok", J.Bool true) ])))
 
 (* ----------------------------------------------------------- transports *)
 

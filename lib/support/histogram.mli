@@ -1,0 +1,113 @@
+(** Log-bucketed (HDR-style) histograms for latency distributions.
+
+    A histogram summarizes a stream of non-negative wall-clock samples
+    (seconds) into exponential buckets: each power-of-two octave is
+    split into {!sub_buckets} linear sub-buckets, so every bucket's
+    width is at most 1/{!sub_buckets} of its lower bound (≤ 12.5%
+    relative quantile error) while the whole range from ~1 ns to ~17
+    minutes costs a few hundred ints.  Bucket bounds are exact binary
+    floats (built with [ldexp]), so they serialize round-trippably
+    through {!Json.float_repr} and are identical on every platform.
+
+    Determinism contract: the bucket index of a sample is a pure
+    function of its bits, and {!merge_into} sums bucket counts and
+    combines min/max — an associative, commutative operation (there is
+    deliberately no floating-point sum inside, which would be
+    order-sensitive).  Two histograms fed the same multiset of samples
+    in any order, or merged from any sharding of it, serialize to
+    byte-identical JSON.  The {e samples} themselves are wall-clock
+    and therefore not deterministic — consumers must keep histogram
+    output under ["timing"] keys (DESIGN §16).
+
+    Concurrency: a {!t} is plain mutable data with no internal locking
+    — confine each instance to one domain (the named registry below is
+    [Domain.DLS]-sharded exactly like {!Telemetry} for exactly this
+    reason).  {!Telemetry} embeds one histogram per timer, so every
+    [*.time] key gains distribution data and histogram shards ride the
+    existing telemetry shard machinery. *)
+
+type t
+
+val sub_buckets : int
+(** Linear sub-buckets per power-of-two octave (8). *)
+
+val create : unit -> t
+
+val copy : t -> t
+(** A deep copy that shares no mutable state with the original — how
+    histograms cross domains inside {!Telemetry} shards. *)
+
+val record : t -> float -> unit
+(** Add one sample.  Samples ≤ 0, NaN, and samples below the smallest
+    bound land in the underflow bucket; samples past the largest bound
+    land in the overflow bucket.  O(1), allocation-free. *)
+
+val count : t -> int
+(** Total samples recorded (including under/overflow). *)
+
+val min_sample : t -> float
+(** Smallest sample seen ([nan] when empty). *)
+
+val max_sample : t -> float
+(** Largest sample seen ([nan] when empty). *)
+
+val merge_into : into:t -> t -> unit
+(** Fold the second histogram into [into]: bucket counts sum, min/max
+    combine.  Associative and commutative up to byte-identical
+    {!to_json} output, whatever the merge tree. *)
+
+val quantile : t -> float -> float
+(** [quantile h q] for [q] in [0,1]: the sample value at rank
+    ⌈q·count⌉, linearly interpolated inside its bucket and clamped to
+    the observed [min,max].  [nan] when the histogram is empty.
+    Accurate to the bucket width (≤ 12.5% relative). *)
+
+val buckets : t -> (float * float * int) list
+(** The non-empty buckets as [(lo, hi, count)], in increasing value
+    order.  [hi] of the overflow bucket is [infinity]. *)
+
+val to_json : t -> Json.t
+(** [{"count": n, "min": s, "max": s, "p50": s, "p90": s, "p99": s,
+    "buckets": [{"lo": s, "hi": s, "count": n}, ...]}] — min/max and
+    the quantiles are [null] when empty.  Deterministic for a fixed
+    sample multiset (see above). *)
+
+(** {1 Named registry}
+
+    A per-domain registry of named histograms, mirroring {!Telemetry}:
+    recording touches only the calling domain's shard (never a lock),
+    and pooled workers hand their shards back for an order-controlled
+    replay.  {!Telemetry} timers do {e not} go through this registry —
+    their histograms live inside the timer cells; this registry is for
+    standalone series (e.g. per-task samples a worker records). *)
+
+val observe : string -> float -> unit
+(** Record one sample into the calling domain's named histogram,
+    creating it empty on first use. *)
+
+val named : unit -> (string * t) list
+(** The calling domain's histograms, sorted by name.  The returned
+    [t]s are live — copy before crossing domains. *)
+
+val find : string -> t option
+
+val reset : unit -> unit
+(** Drop every named histogram of the calling domain. *)
+
+type shard
+(** An immutable snapshot of one domain's named histograms; plain
+    data, safe to cross domains. *)
+
+val empty_shard : shard
+val shard_is_empty : shard -> bool
+
+val isolated : (unit -> 'a) -> 'a * shard
+(** Run the thunk against a fresh, empty registry and return what it
+    recorded as a shard; the calling domain's registry is untouched
+    and restored afterwards (also on exceptions, discarding the
+    shard). *)
+
+val merge_shard : shard -> unit
+(** Fold one shard into the calling domain's registry ({!merge_into}
+    per name).  Because merging is associative and commutative, the
+    replay order cannot change any histogram's serialized form. *)

@@ -27,7 +27,13 @@ val escape_string : string -> string
 
 val float_repr : float -> string
 (** The float formatting [to_string] uses: integral floats as ["3.0"],
-    NaN as ["null"], infinities as out-of-range exponents. *)
+    NaN as ["null"], infinities as out-of-range exponents (["1e999"],
+    which standard parsers read back as IEEE infinity), every other
+    finite float as ["%.17g"].  Round-trip guarantee: for finite [x],
+    [of_string (float_repr x) = Ok (Float x)] bit-for-bit — 17
+    significant digits are sufficient for binary64, so histogram
+    bucket bounds and measured durations survive emit→parse cycles
+    exactly (pinned by a unit test in [test_obslog]). *)
 
 val of_string : string -> (t, string) result
 (** Strict parse of one JSON value (the full standard grammar; rejects

@@ -31,7 +31,16 @@ let json_to_string = Json.to_string
 
 (* ----------------------------------------------------------- registry *)
 
-type timer = { mutable total : float; mutable count : int }
+(* Each timer carries a latency histogram alongside the running total,
+   so every *.time key has distribution data, not just a mean.  The
+   histogram is mutated by the owning domain only (the registry is
+   domain-local) and crosses domains exclusively as copies inside
+   shards. *)
+type timer = {
+  mutable total : float;
+  mutable count : int;
+  hist : Histogram.t;
+}
 
 type registry = {
   counter_tbl : (string, int ref) Hashtbl.t;
@@ -91,14 +100,15 @@ let timer_cell reg qname =
   match Hashtbl.find_opt reg.timer_tbl qname with
   | Some t -> t
   | None ->
-    let t = { total = 0.0; count = 0 } in
+    let t = { total = 0.0; count = 0; hist = Histogram.create () } in
     Hashtbl.replace reg.timer_tbl qname t;
     t
 
 let record_time reg qname dt =
   let t = timer_cell reg qname in
   t.total <- t.total +. dt;
-  t.count <- t.count + 1
+  t.count <- t.count + 1;
+  Histogram.record t.hist dt
 
 let time name f =
   let reg = cur () in
@@ -157,10 +167,8 @@ let snapshot_of_registry reg : json =
     |> List.sort compare
   in
   let ts =
-    Hashtbl.fold
-      (fun name t acc -> (name, t.total, t.count) :: acc)
-      reg.timer_tbl []
-    |> List.sort compare
+    Hashtbl.fold (fun name t acc -> (name, t) :: acc) reg.timer_tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   Assoc
     [
@@ -168,8 +176,14 @@ let snapshot_of_registry reg : json =
       ( "timers",
         Assoc
           (List.map
-             (fun (n, total, count) ->
-               (n, Assoc [ ("total_s", Float total); ("count", Int count) ]))
+             (fun (n, t) ->
+               ( n,
+                 Assoc
+                   [
+                     ("total_s", Float t.total);
+                     ("count", Int t.count);
+                     ("histogram", Histogram.to_json t.hist);
+                   ] ))
              ts) );
     ]
 
@@ -196,7 +210,8 @@ let capture f =
    never aliases live hashtables between domains. *)
 type shard = {
   s_counters : (string * int) list;
-  s_timers : (string * float * int) list;
+  s_timers : (string * float * int * Histogram.t) list;
+      (* histograms are copies: the shard owns them outright *)
 }
 
 let shard_of_registry reg : shard =
@@ -206,9 +221,10 @@ let shard_of_registry reg : shard =
       |> List.sort compare;
     s_timers =
       Hashtbl.fold
-        (fun name t acc -> (name, t.total, t.count) :: acc)
+        (fun name t acc ->
+          (name, t.total, t.count, Histogram.copy t.hist) :: acc)
         reg.timer_tbl []
-      |> List.sort compare;
+      |> List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b);
   }
 
 let shard_of_current () = shard_of_registry (cur ())
@@ -218,6 +234,12 @@ let empty_shard = { s_counters = []; s_timers = [] }
 let shard_is_empty s = s.s_counters = [] && s.s_timers = []
 
 let shard_counters s = s.s_counters
+
+let shard_timers s =
+  List.map (fun (name, total, count, _) -> (name, total, count)) s.s_timers
+
+let shard_timer_histograms s =
+  List.map (fun (name, _, _, h) -> (name, h)) s.s_timers
 
 let isolated f =
   let saved = cur () in
@@ -250,10 +272,11 @@ let merge_shard (s : shard) =
   let reg = cur () in
   List.iter (merge_counter reg) s.s_counters;
   List.iter
-    (fun (name, total, count) ->
+    (fun (name, total, count, hist) ->
       let t = timer_cell reg name in
       t.total <- t.total +. total;
-      t.count <- t.count + count)
+      t.count <- t.count + count;
+      Histogram.merge_into ~into:t.hist hist)
     s.s_timers
 
 let merge_joined (shards : shard list) =
@@ -264,22 +287,30 @@ let merge_joined (shards : shard list) =
      seconds than the join took on the wall clock. *)
   let reg = cur () in
   List.iter (fun s -> List.iter (merge_counter reg) s.s_counters) shards;
-  let maxima : (string, float * int) Hashtbl.t = Hashtbl.create 16 in
+  (* Histograms sum even here: each sample is one real invocation, so
+     the distribution aggregates across workers — only the scalar
+     total takes the critical-path maximum. *)
+  let maxima : (string, float * int * Histogram.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
   List.iter
     (fun s ->
       List.iter
-        (fun (name, total, count) ->
+        (fun (name, total, count, hist) ->
           match Hashtbl.find_opt maxima name with
-          | Some (mx, cnt) ->
-            Hashtbl.replace maxima name (Float.max mx total, cnt + count)
-          | None -> Hashtbl.replace maxima name (total, count))
+          | Some (mx, cnt, h) ->
+            Histogram.merge_into ~into:h hist;
+            Hashtbl.replace maxima name (Float.max mx total, cnt + count, h)
+          | None ->
+            Hashtbl.replace maxima name (total, count, Histogram.copy hist))
         s.s_timers)
     shards;
   Hashtbl.iter
-    (fun name (mx, count) ->
+    (fun name (mx, count, hist) ->
       let t = timer_cell reg name in
       t.total <- t.total +. mx;
-      t.count <- t.count + count)
+      t.count <- t.count + count;
+      Histogram.merge_into ~into:t.hist hist)
     maxima
 
 let report () =

@@ -84,7 +84,11 @@ val reset : unit -> unit
 
 val snapshot : unit -> json
 (** The whole registry as [{"counters": {...}, "timers": {...}}], keys
-    sorted; timers as [{"total_s": float, "count": int}]. *)
+    sorted; timers as [{"total_s": float, "count": int, "histogram":
+    {...}}] — the histogram member is {!Histogram.to_json} of every
+    duration the timer recorded, so [--stats=json] consumers get
+    latency distributions for each [*.time] key without extra
+    instrumentation. *)
 
 val capture : (unit -> 'a) -> 'a * (string * int) list
 (** Run the thunk and return the counter *delta* it caused (counters
@@ -106,6 +110,16 @@ val shard_is_empty : shard -> bool
 val shard_counters : shard -> (string * int) list
 (** The shard's counters, sorted by fully qualified name. *)
 
+val shard_timers : shard -> (string * float * int) list
+(** The shard's timers as (name, total seconds, invocations), sorted
+    by fully qualified name. *)
+
+val shard_timer_histograms : shard -> (string * Histogram.t) list
+(** The per-timer latency histograms the shard captured, sorted by
+    name.  The histograms are owned by the shard (copies taken when it
+    was snapshotted) — callers may read or merge them freely; the
+    bench harness uses this to attach per-row time distributions. *)
+
 val shard_of_current : unit -> shard
 (** Snapshot the calling domain's registry (without clearing it). *)
 
@@ -118,16 +132,20 @@ val isolated : (unit -> 'a) -> 'a * shard
 val merge_shard : shard -> unit
 (** Fold one shard into the calling domain's registry: counters summed
     (["max_"]-based counters combined by maximum), timer totals and
-    counts summed — i.e. as if the shard's work had been recorded here
-    sequentially.  Use this to replay {!isolated} task shards in a
-    deterministic order. *)
+    counts summed, timer histograms merged ({!Histogram.merge_into}) —
+    i.e. as if the shard's work had been recorded here sequentially.
+    Use this to replay {!isolated} task shards in a deterministic
+    order. *)
 
 val merge_joined : shard list -> unit
 (** Fold the shards of a parallel join into the calling domain's
     registry: counters summed (["max_"]-based counters combined by
     maximum); for each timer, the *maximum* total
     across the shards (the critical path of the slowest worker) is
-    added once, while invocation counts sum.  {!Pool.map} calls this
+    added once, while invocation counts sum and histograms merge
+    across all workers (every sample is one real invocation, so the
+    distribution aggregates even though the total does not).
+    {!Pool.map} calls this
     with its workers' shards, so timer totals under [--jobs N]
     approximate wall-clock rather than aggregate CPU time. *)
 

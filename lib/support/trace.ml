@@ -1,7 +1,10 @@
 (* See the interface for the contract.  Implementation notes:
 
    - enablement is two process-global [Atomic.t bool]s read by every
-     domain; a disabled site is one atomic load and a branch;
+     domain; a disabled site is one atomic load and a branch.  The
+     per-compile force used by [collect_remarks] is domain-local (a
+     DLS cell), never the global flag — see the note at its
+     definition;
    - buffers are per-domain through [Domain.DLS], reversed lists (append
      is a cons); export reverses once;
    - span events are explicit Begin/End pairs rather than completed
@@ -19,6 +22,19 @@ let set_spans b = Atomic.set spans_flag b
 let set_remarks b = Atomic.set remarks_flag b
 let spans_on () = Atomic.get spans_flag
 let remarks_on () = Atomic.get remarks_flag
+
+(* [collect_remarks] force-enables remark recording for one domain
+   only.  It used to toggle the process-global atomic, which raced
+   under the pool: a worker finishing its collection would restore the
+   flag to "off" while a sibling was mid-collect, silently truncating
+   the sibling's remark stream (observed as nondeterministic remark
+   counts in service batches at --jobs > 1). *)
+let force_remarks_key : bool ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref false)
+
+let remarks_recording () =
+  Atomic.get remarks_flag || !(Domain.DLS.get force_remarks_key)
+
 let active () = spans_on () || remarks_on ()
 
 let epoch = Unix.gettimeofday ()
@@ -104,7 +120,7 @@ let with_span ?(cat = "fgv") ?(args = []) name f =
 (* ------------------------------------------------------------ remarks *)
 
 let remark a r =
-  if remarks_on () then begin
+  if remarks_recording () then begin
     let b = cur () in
     b.rems <- (a, r) :: b.rems
   end
@@ -364,12 +380,13 @@ let merge_shard s =
   end
 
 let collect_remarks f =
-  let saved = remarks_on () in
-  set_remarks true;
+  let force = Domain.DLS.get force_remarks_key in
+  let saved = !force in
+  force := true;
   match isolated f with
   | v, shard ->
-    set_remarks saved;
+    force := saved;
     (v, shard.sh_rems)
   | exception e ->
-    set_remarks saved;
+    force := saved;
     raise e

@@ -30,6 +30,12 @@ val remarks_on : unit -> bool
 val active : unit -> bool
 (** Either stream enabled — gate for per-task capture in {!Pool}. *)
 
+val remarks_recording : unit -> bool
+(** Remarks are being recorded {e on this domain}: either the global
+    [set_remarks] flag is on, or a {!collect_remarks} is in progress
+    here.  Instrumentation sites that do nontrivial work to build a
+    remark should gate on this, not on {!remarks_on}. *)
+
 (** {1 Spans} *)
 
 val with_span :
@@ -174,4 +180,6 @@ val collect_remarks : (unit -> 'a) -> 'a * (anchor * remark) list
 (** Run the thunk with remarks force-enabled and isolated, restore the
     previous enablement, and return what it emitted — how the fuzz
     campaign attaches the failing pipeline's decisions to a failure
-    report without polluting the global stream. *)
+    report without polluting the global stream.  The force is
+    domain-local, so concurrent pool workers collecting remarks never
+    interfere (the global {!set_remarks} flag is untouched). *)

@@ -5,18 +5,20 @@
    — a new compiler version must never serve artifacts cached by an
    old one (DESIGN §15). *)
 
-let tool = "fgv 0.7"
+let tool = "fgv 0.8"
 
-let bench_json_schema = 5
+let bench_json_schema = 6
 let fuzz_report_schema = 3
 let trace_schema = 1
-let service_protocol = 1
+let service_protocol = 2
 let cache_schema = 1
+let log_schema = 1
+let metrics_schema = 1
 
 (* What [fgvc --version] prints; consumers pin against these. *)
 let banner =
   Printf.sprintf
     "%s (bench-json=%d fuzz-report=%d trace=%d service-proto=%d \
-     cache-schema=%d)"
+     cache-schema=%d log-schema=%d metrics-schema=%d)"
     tool bench_json_schema fuzz_report_schema trace_schema service_protocol
-    cache_schema
+    cache_schema log_schema metrics_schema

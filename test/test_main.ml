@@ -21,4 +21,5 @@ let () =
       ("condopt", Test_condopt.suite);
       ("interp", Test_interp.suite);
       ("service", Test_service.suite);
+      ("obslog", Test_obslog.suite);
     ]

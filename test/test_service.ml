@@ -147,7 +147,7 @@ let test_protocol_lines () =
     match P.decode_line text with
     | P.Single _ -> "single"
     | P.Batch rs -> Printf.sprintf "batch:%d" (List.length rs)
-    | P.Control op -> "control:" ^ op
+    | P.Control c -> "control:" ^ P.control_name c
     | P.Malformed _ -> "malformed"
   in
   Alcotest.(check string) "object with source" "single"
@@ -157,6 +157,12 @@ let test_protocol_lines () =
   Alcotest.(check string) "ping" "control:ping" (classify {|{"op":"ping"}|});
   Alcotest.(check string) "stats" "control:stats"
     (classify {|{"op":"stats"}|});
+  Alcotest.(check string) "metrics" "control:metrics"
+    (classify {|{"op":"metrics"}|});
+  Alcotest.(check string) "metrics with text format" "control:metrics"
+    (classify {|{"op":"metrics","format":"text"}|});
+  Alcotest.(check string) "unknown metrics format" "malformed"
+    (classify {|{"op":"metrics","format":"xml"}|});
   Alcotest.(check string) "unknown op" "malformed"
     (classify {|{"op":"dance"}|});
   Alcotest.(check string) "missing source" "malformed" (classify {|{}|});
@@ -188,6 +194,42 @@ let test_handle_line_ops () =
     (J.int_member "requests" stats);
   Alcotest.(check (option int)) "stats counts hits" (Some 1)
     (J.int_member "hits" stats);
+  Alcotest.(check (option int)) "stats reports cache capacity" (Some 128)
+    (J.int_member "capacity" stats);
+  let metrics = parse (reply {|{"op":"metrics"}|}) in
+  let counters = Option.get (J.member "counters" metrics) in
+  Alcotest.(check (option int)) "metrics agrees with stats on requests"
+    (J.int_member "requests" stats)
+    (J.int_member "requests" counters);
+  let cache = Option.get (J.member "cache" metrics) in
+  Alcotest.(check (option int)) "metrics reports cache entries" (Some 1)
+    (J.int_member "entries" cache);
+  (match J.member "hit_rate" cache with
+  | Some (J.Float r) ->
+    Alcotest.(check (float 1e-9)) "hit rate is hits/requests" 0.5 r
+  | _ -> Alcotest.fail "metrics cache has no hit_rate");
+  let request_hist =
+    Option.get (J.member "timing" metrics)
+    |> J.member "histograms" |> Option.get
+    |> J.member "request" |> Option.get
+  in
+  Alcotest.(check (option int)) "request histogram saw both requests"
+    (Some 2)
+    (J.int_member "count" request_hist);
+  let text = parse (reply {|{"op":"metrics","format":"text"}|}) in
+  (match J.string_member "body" text with
+  | Some body ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i =
+        i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool) "text exposition carries the request histogram"
+      true
+      (contains body "fgv_request_duration_seconds_count 2")
+  | None -> Alcotest.fail "text metrics has no body");
   let err = parse (reply "{nope") in
   Alcotest.(check (option bool)) "malformed line answers ok:false"
     (Some false) (J.bool_member "ok" err);
