@@ -581,6 +581,121 @@ let run_service () =
          ("counters", counters_json delta);
        ])
 
+(* ------------------------------------------------ incremental lane *)
+
+(* Edit-aware recompilation (DESIGN §17): one translation unit holding
+   [inc_kernels] kernels is compiled cold, then recompiled once per
+   round with exactly one kernel textually edited.  Per-kernel sub-keys
+   make every untouched kernel hit the artifact cache, so the warm
+   rounds' wall clock is ~1/[inc_kernels] of the cold compile; the lane
+   reports the measured speedup, the unit reuse rate, and whether every
+   incremental response is byte-identical to a fresh cold service
+   compiling the same edited source (the determinism contract).  Timing
+   runs against a jobs:1 service so cold/warm compare like-for-like;
+   the byte-identity reference service uses --jobs, which doubles as a
+   cross-jobs determinism check. *)
+let inc_kernels = 16
+
+let inc_rounds = 4
+
+let inc_kernel_src i v =
+  Printf.sprintf
+    "kernel inc%d(float* restrict a, float* restrict b, int n) { for (int \
+     i = 0; i < n; i = i + 1) { a[i] = b[i] * %d.0 + %d.0; } }"
+    i (i + 1 + (100 * v)) i
+
+let inc_source (versions : int array) : string =
+  String.concat "\n"
+    (List.init inc_kernels (fun i -> inc_kernel_src i versions.(i)))
+
+let run_incremental () =
+  Tr.with_span ~cat:"figure" "incremental" @@ fun () ->
+  let module S = Fgv_service.Service in
+  let module P = Fgv_service.Protocol in
+  let request src =
+    {
+      P.rq_id = "inc";
+      rq_source = src;
+      rq_pipeline = "sv+v";
+      rq_no_restrict = false;
+      rq_emit_c = false;
+      rq_heap = P.default_heap;
+    }
+  in
+  let (svc, sources, responses, cold_wall, warm_walls), delta =
+    Tm.capture (fun () ->
+        let svc = S.create ~jobs:1 () in
+        let versions = Array.make inc_kernels 0 in
+        let drive src =
+          let t0 = Unix.gettimeofday () in
+          let resp = P.response_line (S.handle_request svc (request src)) in
+          (resp, Unix.gettimeofday () -. t0)
+        in
+        let src0 = inc_source versions in
+        let resp0, cold_wall = drive src0 in
+        let rounds =
+          List.init inc_rounds (fun r ->
+              let k = r mod inc_kernels in
+              versions.(k) <- versions.(k) + 1;
+              let src = inc_source versions in
+              let resp, wall = drive src in
+              (src, resp, wall))
+        in
+        ( svc,
+          src0 :: List.map (fun (s, _, _) -> s) rounds,
+          resp0 :: List.map (fun (_, r, _) -> r) rounds,
+          cold_wall,
+          List.map (fun (_, _, w) -> w) rounds ))
+  in
+  (* determinism: every incremental response byte-equals a fresh cold
+     service's answer for the same source (cache state must never leak
+     into response bytes), across job counts *)
+  let byte_identical =
+    List.for_all2
+      (fun src resp ->
+        let fresh = S.create ~jobs:!jobs () in
+        P.response_line (S.handle_request fresh (request src)) = resp)
+      sources responses
+  in
+  let warm_wall =
+    List.fold_left ( +. ) 0.0 warm_walls
+    /. float_of_int (max 1 (List.length warm_walls))
+  in
+  let speedup = cold_wall /. warm_wall in
+  let reuse =
+    if svc.S.uqueries = 0 then 0.0
+    else float_of_int svc.S.uhits /. float_of_int svc.S.uqueries
+  in
+  section "Incremental recompilation (edit one kernel per round)"
+    (Printf.sprintf
+       "%d kernels, %d edit rounds: %d unit queries, %d memo hits, %d \
+        invalidated, %d recompiled -> reuse rate %.3f\n\
+        cold %.1f ms, warm mean %.1f ms -> warm speedup %.1fx; byte-identical \
+        vs fresh: %b\n"
+       inc_kernels inc_rounds svc.S.uqueries svc.S.uhits svc.S.uinvalidated
+       svc.S.urecomputed reuse (1e3 *. cold_wall) (1e3 *. warm_wall) speedup
+       byte_identical);
+  add_figure "incremental"
+    (J.Assoc
+       [
+         ("kernels", J.Int inc_kernels);
+         ("rounds", J.Int inc_rounds);
+         ("queries_asked", J.Int svc.S.uqueries);
+         ("memo_hits", J.Int svc.S.uhits);
+         ("invalidated", J.Int svc.S.uinvalidated);
+         ("recomputed", J.Int svc.S.urecomputed);
+         ("reuse_rate", J.Float reuse);
+         ("byte_identical", J.Bool byte_identical);
+         ( "timing",
+           J.Assoc
+             [
+               ("cold_wall_s", J.Float cold_wall);
+               ("warm_wall_s", J.Float warm_wall);
+               ("warm_speedup", J.Float speedup);
+             ] );
+         ("counters", counters_json delta);
+       ])
+
 let write_json file =
   let doc =
     J.Assoc
@@ -603,7 +718,7 @@ let write_json file =
 let usage () =
   Printf.eprintf
     "usage: main.exe [fig16|fig19|fig22|clients|s258|ablation-mincut|\
-     ablation-condopt|compiletime|native|service|wallclock|all]... \
+     ablation-condopt|compiletime|native|service|incremental|wallclock|all]... \
      [--json FILE] [--jobs N] [--trace FILE]\n";
   exit 1
 
@@ -658,6 +773,7 @@ let () =
     | "compiletime" -> run_compiletime ()
     | "native" -> run_native ()
     | "service" -> run_service ()
+    | "incremental" -> run_incremental ()
     | "wallclock" -> wallclock ()
     | "all" ->
       run_fig19 ();
@@ -670,6 +786,7 @@ let () =
       run_compiletime ();
       run_native ();
       run_service ();
+      run_incremental ();
       section "Wall-clock sanity (Bechamel)" "";
       wallclock ()
     | other ->

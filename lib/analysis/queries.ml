@@ -1,0 +1,44 @@
+(* The analysis stack as registered incremental queries (DESIGN §17).
+
+   SCEV and the region dependence graph are the two analyses every
+   versioning client and every pass re-derives; registering them here
+   means that, inside an active {!Fgv_incremental.Engine.with_ctx} (one
+   pipeline run — see pipelines.ml), a function that has not changed
+   since the last ask answers from the memo table, with the recorded
+   counters and remarks replayed so the hit is observably identical to
+   a recomputation.
+
+   Outside a context (unit tests, ad-hoc harness code) these are plain
+   wrappers over [Scev.create] / [Depgraph.build] with zero overhead.
+
+   Contract notes:
+   - the SCEV query is region-independent, so its key is empty;
+   - the dependence-graph query records a read-edge on the SCEV query
+     (it asks for SCEV through {!scev} inside its own computation), so
+     a SCEV recomputed against changed content turns the graph red;
+   - both memoized values hold pointers into the physical function
+     they were computed on, which is exactly what the engine's
+     physical-identity + fingerprint validity check permits. *)
+
+module Q = Fgv_incremental.Engine
+open Fgv_pssa
+
+let scev_q : Scev.t Q.query = Q.register "analysis.scev"
+let depgraph_q : Depgraph.t Q.query = Q.register "analysis.depgraph"
+
+let region_key = function
+  | Ir.Rtop -> "top"
+  | Ir.Rloop l -> "loop:" ^ string_of_int l
+
+let scev (f : Ir.func) : Scev.t =
+  Q.get scev_q f ~key:"" (fun () -> Scev.create f)
+
+(* [?scev] keeps the existing sharing contract: a caller that already
+   ran SCEV on the same, unmodified function can donate it to a cold
+   build.  On a memo hit the donation is ignored — the cached graph was
+   derived from fingerprint-identical content. *)
+let depgraph ?scev:(donated : Scev.t option) (f : Ir.func)
+    (region : Ir.region) : Depgraph.t =
+  Q.get depgraph_q f ~key:(region_key region) (fun () ->
+      let sc = match donated with Some sc -> sc | None -> scev f in
+      Depgraph.build f sc region)

@@ -309,3 +309,21 @@ let compile_no_restrict (src : string) : Ir.func =
   let f = lower_fdecl fd in
   Verifier.verify f;
   f
+
+(* Lower one already-parsed declaration (the compile service parses a
+   whole translation unit once, then compiles each kernel as its own
+   cacheable unit).  The same fresh-generation discipline as [compile]
+   applies per unit, so a unit's lowering never depends on which units
+   were compiled before it. *)
+let compile_fdecl ?(no_restrict = false) (fd : Ast.fdecl) : Ir.func =
+  Pred.reset ();
+  let fd =
+    if no_restrict then
+      { fd with
+        Ast.fdparams =
+          List.map (fun p -> { p with Ast.prestrict = false }) fd.Ast.fdparams }
+    else fd
+  in
+  let f = lower_fdecl fd in
+  Verifier.verify f;
+  f

@@ -305,3 +305,23 @@ let parse (src : string) : fdecl =
   | TEOF -> ()
   | t -> fail "trailing input: %s" (Lexer.string_of_token t));
   fd
+
+(* Parse a whole translation unit: one or more kernels.  Each returned
+   declaration comes with its own token slice — the exact tokens the
+   kernel was parsed from — which is what the compile service
+   fingerprints to key per-function cache entries (an edit to one kernel
+   must not disturb the others' keys). *)
+let parse_program (src : string) : (fdecl * Lexer.token array) list =
+  let st = { tokens = Lexer.tokenize src; idx = 0 } in
+  let rec go acc =
+    match peek st with
+    | TEOF -> List.rev acc
+    | _ ->
+      let start = st.idx in
+      let fd = parse_fdecl st in
+      let slice = Array.sub st.tokens start (st.idx - start) in
+      go ((fd, slice) :: acc)
+  in
+  match go [] with
+  | [] -> fail "empty input: expected at least one kernel"
+  | fds -> fds

@@ -1,0 +1,169 @@
+(* The incremental query engine — see engine.mli for the contract.
+
+   Implementation notes:
+
+   - Values of different queries share one memo table, so each query
+     carries a universal embedding (the classic exception trick: a
+     locally declared constructor gives an injection/projection pair
+     without Obj).  A projection failure can only mean two queries were
+     registered under one name, which [register] forbids.
+
+   - The context lives in [Domain.DLS]: installing it never takes a
+     lock, and two pool workers can never see each other's memo
+     entries (analysis objects hold pointers into the worker's own IR
+     copy — sharing them across domains would be unsound as well as
+     nondeterministic).
+
+   - Read-edges: while a computation runs, a dependency list sits on
+     the context's stack; every nested ask (hit or miss) appends
+     (query, key, fingerprint-at-read) to the top of the stack.  The
+     recorded edges make green-checking transitive enough in practice:
+     an entry whose own fingerprint matches but whose inputs were
+     recomputed to a different stamp is treated as red. *)
+
+module Tm = Fgv_support.Telemetry
+module Tr = Fgv_support.Trace
+open Fgv_pssa
+
+(* ----------------------------------------------------- universal values *)
+
+type univ = exn
+
+type 'a query = {
+  q_name : string;
+  q_inject : 'a -> univ;
+  q_project : univ -> 'a option;
+}
+
+let registered : (string, unit) Hashtbl.t = Hashtbl.create 16
+
+let register (type a) name : a query =
+  if Hashtbl.mem registered name then
+    invalid_arg ("Engine.register: duplicate query name " ^ name);
+  Hashtbl.add registered name ();
+  let module M = struct
+    exception E of a
+  end in
+  {
+    q_name = name;
+    q_inject = (fun x -> M.E x);
+    q_project = (function M.E x -> Some x | _ -> None);
+  }
+
+(* ------------------------------------------------------------- the table *)
+
+(* One read-edge: the ask that a computation made, with the dependee's
+   fingerprint at read time. *)
+type dep = { d_query : string; d_key : string; d_fp : string }
+
+type entry = {
+  e_value : univ;
+  e_func : Ir.func;  (** physical identity the value is tied to *)
+  e_fp : string;  (** [fingerprint e_func] when computed *)
+  e_deps : dep list;
+  e_shard : Tm.shard;  (** counters/timers the computation recorded *)
+  e_remarks : (Tr.anchor * Tr.remark) list;
+}
+
+type ctx = {
+  table : (string * string, entry) Hashtbl.t;
+  mutable dep_stack : dep list ref list;
+      (** innermost computation's read-edge collector first *)
+}
+
+let slot : ctx option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current () : ctx option = !(Domain.DLS.get slot)
+
+let active () = current () <> None
+
+let with_ctx k =
+  let cell = Domain.DLS.get slot in
+  match !cell with
+  | Some _ -> k () (* re-entrant: nested pipelines share the memo table *)
+  | None ->
+    cell := Some { table = Hashtbl.create 64; dep_stack = [] };
+    Fun.protect ~finally:(fun () -> cell := None) k
+
+let fingerprint (f : Ir.func) : string =
+  Digest.to_hex (Digest.string (Printer.to_string f))
+
+(* ---------------------------------------------------------------- asking *)
+
+let record_read ctx q key fp =
+  match ctx.dep_stack with
+  | [] -> ()
+  | deps :: _ -> deps := { d_query = q; d_key = key; d_fp = fp } :: !deps
+
+(* Green iff every recorded read still resolves to an entry carrying the
+   fingerprint it had when read.  A dropped dependee is green too: the
+   entry's own fingerprint already vouches for the function content the
+   dependee was derived from. *)
+let deps_green ctx (e : entry) =
+  List.for_all
+    (fun d ->
+      match Hashtbl.find_opt ctx.table (d.d_query, d.d_key) with
+      | None -> true
+      | Some dep_entry -> dep_entry.e_fp = d.d_fp)
+    e.e_deps
+
+let own_counter name = String.length name >= 12 && String.sub name 0 12 = "incremental."
+
+let compute_entry ctx (q : 'a query) (f : Ir.func) ~key ~fp compute : entry * 'a =
+  Tm.incr "incremental.recomputed";
+  let deps = ref [] in
+  ctx.dep_stack <- deps :: ctx.dep_stack;
+  let (value, remarks), shard =
+    Fun.protect
+      ~finally:(fun () -> ctx.dep_stack <- List.tl ctx.dep_stack)
+      (fun () -> Tm.isolated (fun () -> Tr.collect_remarks compute))
+  in
+  (* the computation's work reaches the live registry and the live
+     remark stream exactly once, here — a later hit replays the same *)
+  Tm.merge_shard shard;
+  List.iter (fun (a, r) -> Tr.remark a r) remarks;
+  let entry =
+    {
+      e_value = q.q_inject value;
+      e_func = f;
+      e_fp = fp;
+      e_deps = !deps;
+      e_shard = Tm.shard_filter_counters (fun n -> not (own_counter n)) shard;
+      e_remarks = remarks;
+    }
+  in
+  Hashtbl.replace ctx.table (q.q_name, key) entry;
+  (entry, value)
+
+let get (type a) (q : a query) (f : Ir.func) ~key (compute : unit -> a) : a =
+  match current () with
+  | None -> compute ()
+  | Some ctx -> (
+    Tm.incr "incremental.queries_asked";
+    let fp = fingerprint f in
+    let table_key = (q.q_name, key) in
+    let cached =
+      match Hashtbl.find_opt ctx.table table_key with
+      | Some e when e.e_func == f && e.e_fp = fp && deps_green ctx e -> (
+        match q.q_project e.e_value with
+        | Some v -> Some (e, v)
+        | None -> None (* impossible: names are unique *))
+      | Some _ ->
+        Tm.incr "incremental.invalidated";
+        Hashtbl.remove ctx.table table_key;
+        None
+      | None -> None
+    in
+    match cached with
+    | Some (e, v) ->
+      Tm.incr "incremental.memo_hits";
+      (* replay: the hit is observably a recomputation *)
+      Tm.merge_shard e.e_shard;
+      List.iter (fun (a, r) -> Tr.remark a r) e.e_remarks;
+      record_read ctx q.q_name key fp;
+      v
+    | None ->
+      let _entry, v = compute_entry ctx q f ~key ~fp compute in
+      record_read ctx q.q_name key fp;
+      v)

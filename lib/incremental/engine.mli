@@ -1,0 +1,70 @@
+(** The incremental query engine (DESIGN §17): memoized,
+    dependency-tracked analyses over the mutable PSSA IR, in the
+    red-green style of demand-driven incremental compilers.
+
+    A {b query} is a named, registered unit of analysis; an {b ask}
+    ({!get}) is one demand for its value over one function and one
+    caller-chosen key (the region, the node set — whatever, beyond the
+    function's own content, determines the result).  Asks inside an
+    active context ({!with_ctx}) consult a memo table; asks outside one
+    compute directly with zero bookkeeping, so analyses stay usable from
+    unit tests and ad-hoc harness code unchanged.
+
+    {b Validity (red-green).}  The IR is mutable and analysis results
+    capture pointers into it, so a memo entry is keyed by the {e
+    physical} function it was computed on and stamped with the
+    function's {!fingerprint} (a digest of its printed form).  An entry
+    is {e green} — replayed without recomputation — iff the ask is for
+    the same physical function, the current fingerprint equals the
+    recorded one, and every recorded read-edge (a nested ask the
+    computation made) still resolves to an entry with the fingerprint it
+    had when read.  Anything else is {e red}: the entry is dropped and
+    the query recomputes.  Fingerprint equality stands in for value
+    equality — conservative (an edit that does not change the printed
+    function, e.g. none, would be missed; a semantically irrelevant edit
+    recomputes needlessly) but sound, because the printer renders every
+    value id, operand, predicate, and loop the analyses can observe.
+
+    {b Determinism contract (DESIGN §16, extended).}  A memo hit must be
+    observably identical to a recomputation: the computation runs under
+    an isolated telemetry registry and a remark collector, both are
+    stored with the value, and a hit merges the stored counter shard and
+    re-emits the stored remarks exactly as a recomputation would have.
+    The engine's own [incremental.*] counters are stripped from stored
+    shards so replay never double-counts asks.  Contexts are
+    domain-local and scoped to one pipeline run, so worker domains never
+    share analysis objects and [--jobs] determinism is preserved.
+
+    Counters (all under the [incremental.] namespace):
+    [queries_asked], [memo_hits], [invalidated] (entry existed but was
+    red), [recomputed]. *)
+
+open Fgv_pssa
+
+type 'a query
+
+val register : string -> 'a query
+(** Declare a query under a unique name (the memo-key namespace and the
+    label validation errors use).  Registering two queries with the same
+    name raises [Invalid_argument]: their memo entries would collide. *)
+
+val fingerprint : Ir.func -> string
+(** Digest of the function's printed form — the engine's validity stamp.
+    Exposed for the service's edit-tracking and for tests. *)
+
+val with_ctx : (unit -> 'a) -> 'a
+(** Run the thunk with a fresh memo context installed on the calling
+    domain; re-entrant (an inner [with_ctx] reuses the active context,
+    so nested pipelines share one memo table).  The context is dropped
+    when the outermost call returns, also on exceptions: memoized
+    analysis objects hold pointers into the IR and must not outlive the
+    compile that built them. *)
+
+val active : unit -> bool
+(** Is a context installed on the calling domain? *)
+
+val get : 'a query -> Ir.func -> key:string -> (unit -> 'a) -> 'a
+(** [get q f ~key compute] answers the ask.  [key] must capture every
+    input of [compute] other than [f]'s own content (region, node set,
+    configuration); callers own that contract.  With no active context
+    this is exactly [compute ()]. *)

@@ -58,16 +58,31 @@ let canonical_source (src : string) : string =
     String.concat " " (List.map token_repr (Array.to_list tokens))
   | exception Lexer.Error _ -> "!raw\x00" ^ src
 
+let flag_fields (rq : Protocol.request) : string list =
+  [
+    rq.rq_pipeline;
+    (if rq.rq_no_restrict then "no-restrict" else "restrict");
+    (if rq.rq_emit_c then Printf.sprintf "emit-c:%d" rq.rq_heap else "no-c");
+  ]
+
 let key (rq : Protocol.request) : string =
   let fields =
-    [
-      Version.tool;
-      canonical_source rq.rq_source;
-      rq.rq_pipeline;
-      (if rq.rq_no_restrict then "no-restrict" else "restrict");
-      (if rq.rq_emit_c then Printf.sprintf "emit-c:%d" rq.rq_heap
-       else "no-c");
-    ]
+    Version.tool :: canonical_source rq.rq_source :: flag_fields rq
+  in
+  Digest.to_hex (Digest.string (String.concat "\x00" fields))
+
+(* Per-function sub-key (DESIGN §17): the canonical text is one kernel's
+   own token slice, so in a batched translation unit an edit to one
+   kernel changes only that kernel's key — every untouched sibling keeps
+   hitting.  The "unit:" tag keeps unit keys disjoint from whole-request
+   keys even for a single-kernel source whose slice happens to equal the
+   full token stream. *)
+let unit_canonical (slice : Lexer.token array) : string =
+  String.concat " " (List.map token_repr (Array.to_list slice))
+
+let unit_key (rq : Protocol.request) (slice : Lexer.token array) : string =
+  let fields =
+    Version.tool :: ("unit:" ^ unit_canonical slice) :: flag_fields rq
   in
   Digest.to_hex (Digest.string (String.concat "\x00" fields))
 

@@ -92,9 +92,26 @@ type artifact = {
   ar_counters : (string * int) list;
 }
 
+(* A multi-kernel source compiles each kernel as its own cacheable unit
+   and answers with [Compiled_many] in source order; a single-kernel
+   source keeps the historical flat encoding, so protocol 2 clients are
+   byte-compatible until they send a batched translation unit. *)
 type response =
   | Compiled of { id : string; artifact : artifact }
+  | Compiled_many of { id : string; artifacts : artifact list }
   | Failed of { id : string; error : string }
+
+let encode_artifact (a : artifact) : (string * J.t) list =
+  [
+    ("function", J.String a.ar_func);
+    ("ir", J.String a.ar_ir);
+    ("remarks", J.List a.ar_remarks);
+  ]
+  @ (match a.ar_c with None -> [] | Some c -> [ ("c", J.String c) ])
+  @ [
+      ( "counters",
+        J.Assoc (List.map (fun (k, v) -> (k, J.Int v)) a.ar_counters) );
+    ]
 
 let encode_response (r : response) : J.t =
   match r with
@@ -105,16 +122,16 @@ let encode_response (r : response) : J.t =
   | Compiled { id; artifact = a } ->
     J.Assoc
       ((if id = "" then [] else [ ("id", J.String id) ])
+      @ [ ("ok", J.Bool true) ]
+      @ encode_artifact a)
+  | Compiled_many { id; artifacts } ->
+    J.Assoc
+      ((if id = "" then [] else [ ("id", J.String id) ])
       @ [
           ("ok", J.Bool true);
-          ("function", J.String a.ar_func);
-          ("ir", J.String a.ar_ir);
-          ("remarks", J.List a.ar_remarks);
-        ]
-      @ (match a.ar_c with None -> [] | Some c -> [ ("c", J.String c) ])
-      @ [
-          ( "counters",
-            J.Assoc (List.map (fun (k, v) -> (k, J.Int v)) a.ar_counters) );
+          ( "functions",
+            J.List (List.map (fun a -> J.Assoc (encode_artifact a)) artifacts)
+          );
         ])
 
 let response_line (r : response) : string =

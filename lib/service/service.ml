@@ -45,6 +45,18 @@ type t = {
   mutable coalesced : int;
   mutable misses : int;
   mutable errors : int;
+  (* incremental (per-kernel unit) accounting, DESIGN §17: a request
+     splits into one unit per top-level kernel; each unit is asked,
+     and either hits the artifact cache, coalesces onto a same-batch
+     duplicate, or recompiles.  [uinvalidated] counts recompiles of a
+     kernel {e name} the service had already compiled under a different
+     content fingerprint — i.e. edits detected, not first sights. *)
+  mutable uqueries : int;
+  mutable uhits : int;
+  mutable uinvalidated : int;
+  mutable urecomputed : int;
+  fp_by_name : (string, string) Hashtbl.t;
+      (** kernel name -> unit key of its last compiled content *)
 }
 
 let create ?(jobs = Pool.default_jobs ()) ?cache_max ?slow_ms () : t =
@@ -61,30 +73,29 @@ let create ?(jobs = Pool.default_jobs ()) ?cache_max ?slow_ms () : t =
     coalesced = 0;
     misses = 0;
     errors = 0;
+    uqueries = 0;
+    uhits = 0;
+    uinvalidated = 0;
+    urecomputed = 0;
+    fp_by_name = Hashtbl.create 64;
   }
 
 (* ----------------------------------------------------------- compiling *)
 
-(* One cold compile: frontend, pipeline, verifier, optional C lowering.
-   Runs inside a pool worker under an isolated telemetry registry, so
-   the counter snapshot it returns is exactly this compile's.  Remarks
-   are collected rather than streamed: they belong to the artifact. *)
-let compile_artifact (rq : P.request) : (P.artifact, string) result =
+(* Optimize and package one lowered function: pipeline, verifier,
+   optional C lowering.  Shared by the whole-source fallback path and
+   the per-kernel unit path. *)
+let package_artifact (rq : P.request) (f : Fgv_pssa.Ir.func) :
+    (P.artifact, string) result =
   match
-    ( (if rq.rq_no_restrict then Lower_ast.compile_no_restrict
-       else Lower_ast.compile)
-        rq.rq_source,
-      if rq.rq_pipeline = "none" then Some (fun ?on_pass:_ _f -> ())
-      else Fgv_passes.Pipelines.find rq.rq_pipeline )
+    if rq.P.rq_pipeline = "none" then Some (fun ?on_pass:_ _f -> ())
+    else Fgv_passes.Pipelines.find rq.P.rq_pipeline
   with
-  | exception Fgv_frontend.Lexer.Error m -> Error ("lex error: " ^ m)
-  | exception Fgv_frontend.Parser.Error m -> Error ("parse error: " ^ m)
-  | exception Lower_ast.Error m -> Error ("lowering error: " ^ m)
-  | _, None ->
+  | None ->
     Error
-      (Printf.sprintf "unknown pipeline %s (one of: %s)" rq.rq_pipeline
+      (Printf.sprintf "unknown pipeline %s (one of: %s)" rq.P.rq_pipeline
          (String.concat ", " ("none" :: Fgv_passes.Pipelines.names)))
-  | f, Some apply -> (
+  | Some apply -> (
     match Tr.collect_remarks (fun () -> apply ?on_pass:None f) with
     | exception exn ->
       Error ("pipeline crashed: " ^ Printexc.to_string exn)
@@ -93,10 +104,10 @@ let compile_artifact (rq : P.request) : (P.artifact, string) result =
       | Some m -> Error ("optimized IR is ill-formed: " ^ m)
       | None ->
         let c =
-          if not rq.rq_emit_c then None
+          if not rq.P.rq_emit_c then None
           else
             let mem =
-              Array.init rq.rq_heap (fun i ->
+              Array.init rq.P.rq_heap (fun i ->
                   Fgv_pssa.Value.VFloat (Float.of_int (i mod 7)))
             in
             Some (Fgv_backend.Emit.checked (Fgv_cfg.Lower.lower f) ~mem)
@@ -110,7 +121,48 @@ let compile_artifact (rq : P.request) : (P.artifact, string) result =
             ar_counters = [];
           }))
 
+(* One cold whole-source compile: frontend, pipeline, verifier, optional
+   C lowering.  Runs inside a pool worker under an isolated telemetry
+   registry, so the counter snapshot it returns is exactly this
+   compile's.  Remarks are collected rather than streamed: they belong
+   to the artifact.  Used when the source does not split into kernel
+   units (it does not lex/parse), so the request's own error comes from
+   the same frontend path it always did. *)
+let compile_artifact (rq : P.request) : (P.artifact, string) result =
+  match
+    (if rq.rq_no_restrict then Lower_ast.compile_no_restrict
+     else Lower_ast.compile)
+      rq.rq_source
+  with
+  | exception Fgv_frontend.Lexer.Error m -> Error ("lex error: " ^ m)
+  | exception Fgv_frontend.Parser.Error m -> Error ("parse error: " ^ m)
+  | exception Lower_ast.Error m -> Error ("lowering error: " ^ m)
+  | f -> package_artifact rq f
+
+(* One cold per-kernel compile, from the already-parsed declaration. *)
+let compile_unit (rq : P.request) (fd : Fgv_frontend.Ast.fdecl) :
+    (P.artifact, string) result =
+  match Lower_ast.compile_fdecl ~no_restrict:rq.P.rq_no_restrict fd with
+  | exception Lower_ast.Error m -> Error ("lowering error: " ^ m)
+  | f -> package_artifact rq f
+
 (* ------------------------------------------------------------- batches *)
+
+(* One compile unit of a request: a top-level kernel with its own cache
+   sub-key, or the whole source when it does not parse (so the error
+   response comes from the same frontend path it always did, and is
+   never cached). *)
+type unit_src =
+  | Ufn of Fgv_frontend.Ast.fdecl
+  | Uwhole
+
+(* Split a request into (unit, key) pairs, in source order. *)
+let split_units (rq : P.request) : (unit_src * string) list =
+  match Fgv_frontend.Parser.parse_program rq.P.rq_source with
+  | units ->
+    List.map (fun (fd, slice) -> (Ufn fd, Cache.unit_key rq slice)) units
+  | exception (Fgv_frontend.Lexer.Error _ | Fgv_frontend.Parser.Error _) ->
+    [ (Uwhole, Cache.key rq) ]
 
 type resolution =
   | Hit of P.artifact * float
@@ -118,11 +170,20 @@ type resolution =
           evict it, plus the lookup's wall seconds *)
   | Await of [ `Miss | `Coalesced ]
 
-(* Outcome slug for access-log records and slow-request warnings. *)
+(* Outcome slug for access-log records and slow-request warnings.  A
+   multi-unit request reports the most expensive outcome any of its
+   units had: one recompiled kernel makes the request a miss however
+   many siblings hit. *)
 let resolution_name = function
   | Hit _ -> "hit"
   | Await `Miss -> "miss"
   | Await `Coalesced -> "coalesced"
+
+let request_outcome (units : resolution list) : string =
+  if List.exists (function Await `Miss -> true | _ -> false) units then "miss"
+  else if List.exists (function Await `Coalesced -> true | _ -> false) units
+  then "coalesced"
+  else "hit"
 
 let handle_batch (t : t) (reqs : P.request list) : P.response list =
   t.batches <- t.batches + 1;
@@ -131,44 +192,63 @@ let handle_batch (t : t) (reqs : P.request list) : P.response list =
   let seq_base = t.requests in
   (* seq of the i-th request of this batch, monotonic per service *)
   let seq i = seq_base + i + 1 in
-  let keyed = List.map (fun rq -> (rq, Cache.key rq)) reqs in
-  (* Classify in request order; collect distinct unresolved keys in
-     first-occurrence order (tagged with their request seq so worker
-     spans can carry it). *)
+  let keyed = List.map (fun rq -> (rq, split_units rq)) reqs in
+  (* Classify every unit in request order; collect distinct unresolved
+     keys in first-occurrence order (tagged with their request seq so
+     worker spans can carry it).  All cache touches happen here on the
+     coordinating domain, so recency and eviction stay deterministic at
+     any job count. *)
   let pending = ref [] in
   let pending_set = Hashtbl.create 16 in
   let plan =
     List.mapi
-      (fun i (rq, key) ->
+      (fun i (rq, units) ->
         t.requests <- t.requests + 1;
         Tm.incr "service.requests";
-        let t0 = Unix.gettimeofday () in
-        match
-          Tr.with_span ~cat:"service"
-            ~args:[ ("seq", J.Int (seq i)) ]
-            "service.lookup"
-            (fun () -> Cache.find t.cache key)
-        with
-        | Some a ->
-          let dt = Unix.gettimeofday () -. t0 in
-          t.hits <- t.hits + 1;
-          Tm.incr "service.cache.hits";
-          Tr.remark (Tr.anchor a.P.ar_func)
-            (Tr.Cache_hit { key; pipeline = rq.P.rq_pipeline });
-          Hit (a, dt)
-        | None ->
-          if Hashtbl.mem pending_set key then begin
-            t.coalesced <- t.coalesced + 1;
-            Tm.incr "service.cache.coalesced";
-            Await `Coalesced
-          end
-          else begin
-            t.misses <- t.misses + 1;
-            Tm.incr "service.cache.misses";
-            Hashtbl.add pending_set key ();
-            pending := (rq, key, seq i) :: !pending;
-            Await `Miss
-          end)
+        Tr.with_span ~cat:"service"
+          ~args:[ ("seq", J.Int (seq i)) ]
+          "service.lookup"
+          (fun () ->
+            List.map
+              (fun (u, key) ->
+                t.uqueries <- t.uqueries + 1;
+                Tm.incr "service.incremental.queries_asked";
+                let t0 = Unix.gettimeofday () in
+                match Cache.find t.cache key with
+                | Some a ->
+                  let dt = Unix.gettimeofday () -. t0 in
+                  t.uhits <- t.uhits + 1;
+                  Tm.incr "service.cache.hits";
+                  Tm.incr "service.incremental.memo_hits";
+                  Tr.remark (Tr.anchor a.P.ar_func)
+                    (Tr.Cache_hit { key; pipeline = rq.P.rq_pipeline });
+                  Hit (a, dt)
+                | None ->
+                  if Hashtbl.mem pending_set key then begin
+                    Tm.incr "service.cache.coalesced";
+                    Await `Coalesced
+                  end
+                  else begin
+                    Tm.incr "service.cache.misses";
+                    t.urecomputed <- t.urecomputed + 1;
+                    Tm.incr "service.incremental.recomputed";
+                    (* an edit: this kernel name was compiled before,
+                       under different content/flags *)
+                    (match u with
+                    | Ufn fd ->
+                      let name = fd.Fgv_frontend.Ast.fdname in
+                      (match Hashtbl.find_opt t.fp_by_name name with
+                      | Some old_key when old_key <> key ->
+                        t.uinvalidated <- t.uinvalidated + 1;
+                        Tm.incr "service.incremental.invalidated"
+                      | _ -> ());
+                      Hashtbl.replace t.fp_by_name name key
+                    | Uwhole -> ());
+                    Hashtbl.add pending_set key ();
+                    pending := (rq, u, key, seq i) :: !pending;
+                    Await `Miss
+                  end)
+              units))
       keyed
   in
   (* Compile the distinct misses in parallel, each against an isolated
@@ -183,7 +263,7 @@ let handle_batch (t : t) (reqs : P.request list) : P.response list =
   | pending ->
     let compiled =
       Pool.map ~jobs:t.jobs
-        (fun (rq, key, sq) ->
+        (fun (rq, u, key, sq) ->
           let t0 = Unix.gettimeofday () in
           let result, shard =
             Tr.with_span ~cat:"service"
@@ -193,7 +273,9 @@ let handle_batch (t : t) (reqs : P.request list) : P.response list =
               (fun () ->
                 Tm.isolated (fun () ->
                     Tm.incr "service.compiles";
-                    compile_artifact rq))
+                    match u with
+                    | Uwhole -> compile_artifact rq
+                    | Ufn fd -> compile_unit rq fd))
           in
           let result =
             Result.map
@@ -211,40 +293,70 @@ let handle_batch (t : t) (reqs : P.request list) : P.response list =
         | Ok a -> Cache.insert t.cache key a
         | Error _ -> ())
       compiled);
-  (* Answer in request order.  Failed compiles are not cached, but every
-     same-batch duplicate shares the one error. *)
+  (* Answer in request order, units in source order.  A request whose
+     units all compiled answers [Compiled] (one unit, the historical
+     flat encoding) or [Compiled_many]; any failed unit fails the whole
+     request with the first unit's error — partial translation units
+     would be unanchorable by position.  Failed compiles are not
+     cached, but every same-batch duplicate shares the one error. *)
+  let unit_result key = function
+    | Hit (a, _) -> Ok a
+    | Await _ -> (
+      match Hashtbl.find_opt fresh key with
+      | Some (r, _) -> r
+      | None -> Error "internal: compile lost")
+  in
   let responses =
     List.map2
-      (fun (rq, key) resolution ->
-        match resolution with
-        | Hit (a, _) -> P.Compiled { id = rq.P.rq_id; artifact = a }
-        | Await _ -> (
-          match Hashtbl.find_opt fresh key with
-          | Some (Ok a, _) -> P.Compiled { id = rq.P.rq_id; artifact = a }
-          | Some (Error e, _) ->
-            t.errors <- t.errors + 1;
-            Tm.incr "service.errors";
-            P.Failed { id = rq.P.rq_id; error = e }
-          | None ->
-            t.errors <- t.errors + 1;
-            P.Failed { id = rq.P.rq_id; error = "internal: compile lost" }))
+      (fun (rq, units) resolutions ->
+        let results =
+          List.map2 (fun (_, key) r -> unit_result key r) units resolutions
+        in
+        match
+          List.find_opt (function Error _ -> true | Ok _ -> false) results
+        with
+        | Some (Error e) ->
+          t.errors <- t.errors + 1;
+          Tm.incr "service.errors";
+          P.Failed { id = rq.P.rq_id; error = e }
+        | _ -> (
+          match List.map Result.get_ok results with
+          | [ a ] -> P.Compiled { id = rq.P.rq_id; artifact = a }
+          | artifacts -> P.Compiled_many { id = rq.P.rq_id; artifacts }))
       keyed plan
   in
+  (* Request-level hit accounting: unchanged semantics for the
+     single-kernel sources every pre-batching client sends (one unit =
+     one request), and hits + coalesced + misses = requests always. *)
+  List.iter
+    (fun resolutions ->
+      match request_outcome resolutions with
+      | "hit" -> t.hits <- t.hits + 1
+      | "coalesced" -> t.coalesced <- t.coalesced + 1
+      | _ -> t.misses <- t.misses + 1)
+    plan;
   (* Access log + latency histograms, in request order, coordinator
      only — the event file's line order matches seq at any job count.
      Every field except the [timing] member is a pure function of the
      request stream (DESIGN §16); a coalesced request reports its
-     provider's compile duration. *)
-  let duration_of key = function
+     provider's compile duration, a multi-unit request the sum of its
+     units'. *)
+  let unit_duration key = function
     | Hit (_, dt) -> dt
     | Await _ -> (
       match Hashtbl.find_opt fresh key with Some (_, d) -> d | None -> 0.0)
   in
+  let duration_of units resolutions =
+    List.fold_left2
+      (fun acc (_, key) r -> acc +. unit_duration key r)
+      0.0 units resolutions
+  in
   List.iteri
-    (fun i ((rq, key), (resolution, response)) ->
-      let dur = duration_of key resolution in
+    (fun i ((rq, units), (resolutions, response)) ->
+      let dur = duration_of units resolutions in
       H.record t.h_request dur;
-      let outcome = resolution_name resolution in
+      let outcome = request_outcome resolutions in
+      let key = match units with (_, k) :: _ -> k | [] -> "" in
       if Ev.enabled Ev.Info then
         Ev.emit Ev.Info "access"
           ([
@@ -253,6 +365,9 @@ let handle_batch (t : t) (reqs : P.request list) : P.response list =
              ("pipeline", String rq.P.rq_pipeline);
              ("key", String key);
            ]
+          @ (match units with
+            | _ :: _ :: _ -> [ ("units", J.Int (List.length units)) ]
+            | _ -> [])
           @
           match response with
           | P.Compiled { artifact = a; _ } ->
@@ -261,6 +376,24 @@ let handle_batch (t : t) (reqs : P.request list) : P.response list =
               ("function", String a.P.ar_func);
               ("remarks", Int (List.length a.P.ar_remarks));
               ("counters", Int (List.length a.P.ar_counters));
+            ]
+          | P.Compiled_many { artifacts; _ } ->
+            [
+              ("ok", J.Bool true);
+              ( "function",
+                String
+                  (String.concat ","
+                     (List.map (fun a -> a.P.ar_func) artifacts)) );
+              ( "remarks",
+                Int
+                  (List.fold_left
+                     (fun n a -> n + List.length a.P.ar_remarks)
+                     0 artifacts) );
+              ( "counters",
+                Int
+                  (List.fold_left
+                     (fun n a -> n + List.length a.P.ar_counters)
+                     0 artifacts) );
             ]
           | P.Failed { error; _ } ->
             [ ("ok", J.Bool false); ("error", String error) ])
@@ -318,6 +451,11 @@ type snapshot = {
   sn_entries : int;
   sn_capacity : int;
   sn_evictions : int;
+  (* per-kernel unit accounting (DESIGN §17) *)
+  sn_uqueries : int;
+  sn_uhits : int;
+  sn_uinvalidated : int;
+  sn_urecomputed : int;
 }
 
 let snapshot (t : t) : snapshot =
@@ -331,7 +469,27 @@ let snapshot (t : t) : snapshot =
     sn_entries = Cache.length t.cache;
     sn_capacity = Cache.capacity t.cache;
     sn_evictions = Cache.evictions t.cache;
+    sn_uqueries = t.uqueries;
+    sn_uhits = t.uhits;
+    sn_uinvalidated = t.uinvalidated;
+    sn_urecomputed = t.urecomputed;
   }
+
+(* Unit-level reuse: how many per-kernel asks the artifact cache
+   answered.  The bench incremental lane's reuse-rate figure. *)
+let reuse_rate (sn : snapshot) : float =
+  if sn.sn_uqueries = 0 then 0.0
+  else float_of_int sn.sn_uhits /. float_of_int sn.sn_uqueries
+
+let incremental_json (sn : snapshot) : J.t =
+  J.Assoc
+    [
+      ("queries_asked", J.Int sn.sn_uqueries);
+      ("memo_hits", J.Int sn.sn_uhits);
+      ("invalidated", J.Int sn.sn_uinvalidated);
+      ("recomputed", J.Int sn.sn_urecomputed);
+      ("reuse_rate", J.Float (reuse_rate sn));
+    ]
 
 let hit_rate (sn : snapshot) : float =
   if sn.sn_requests = 0 then 0.0
@@ -352,6 +510,7 @@ let stats_line (t : t) : string =
          ("entries", J.Int sn.sn_entries);
          ("capacity", J.Int sn.sn_capacity);
          ("evictions", J.Int sn.sn_evictions);
+         ("incremental", incremental_json sn);
        ])
 
 (* {"op":"metrics"}: the same snapshot plus the latency histograms and
@@ -381,6 +540,7 @@ let metrics_json (t : t) : J.t =
             ("evictions", J.Int sn.sn_evictions);
             ("hit_rate", J.Float (hit_rate sn));
           ] );
+      ("incremental", incremental_json sn);
       ( "timing",
         J.Assoc
           [
@@ -430,6 +590,11 @@ let metrics_text (t : t) : string =
   gauge "fgv_cache_capacity" (string_of_int sn.sn_capacity);
   counter "fgv_cache_evictions_total" sn.sn_evictions;
   gauge "fgv_cache_hit_rate" (prom_float (hit_rate sn));
+  counter "fgv_incremental_queries_total" sn.sn_uqueries;
+  counter "fgv_incremental_memo_hits_total" sn.sn_uhits;
+  counter "fgv_incremental_invalidated_total" sn.sn_uinvalidated;
+  counter "fgv_incremental_recomputed_total" sn.sn_urecomputed;
+  gauge "fgv_incremental_reuse_rate" (prom_float (reuse_rate sn));
   gauge "fgv_uptime_seconds"
     (prom_float (Unix.gettimeofday () -. t.started));
   histogram "fgv_request_duration_seconds" t.h_request;

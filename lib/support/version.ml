@@ -5,13 +5,13 @@
    — a new compiler version must never serve artifacts cached by an
    old one (DESIGN §15). *)
 
-let tool = "fgv 0.8"
+let tool = "fgv 0.9"
 
-let bench_json_schema = 6
+let bench_json_schema = 7
 let fuzz_report_schema = 3
 let trace_schema = 1
-let service_protocol = 2
-let cache_schema = 1
+let service_protocol = 3
+let cache_schema = 2
 let log_schema = 1
 let metrics_schema = 1
 

@@ -21,5 +21,6 @@ let () =
       ("condopt", Test_condopt.suite);
       ("interp", Test_interp.suite);
       ("service", Test_service.suite);
+      ("incremental", Test_incremental.suite);
       ("obslog", Test_obslog.suite);
     ]

@@ -240,10 +240,10 @@ let test_failures_not_cached () =
   let svc = S.create ~jobs:1 () in
   (match S.handle_request svc (rq "kernel oops(") with
   | P.Failed _ -> ()
-  | P.Compiled _ -> Alcotest.fail "expected a parse failure");
+  | P.Compiled _ | P.Compiled_many _ -> Alcotest.fail "expected a parse failure");
   (match S.handle_request svc (rq "kernel oops(") with
   | P.Failed _ -> ()
-  | P.Compiled _ -> Alcotest.fail "expected a parse failure");
+  | P.Compiled _ | P.Compiled_many _ -> Alcotest.fail "expected a parse failure");
   Alcotest.(check int) "failures never hit" 0 svc.S.hits;
   Alcotest.(check int) "failures are recompiled" 2 svc.S.misses;
   Alcotest.(check int) "failures are not stored" 0 (C.length svc.S.cache);
@@ -256,7 +256,8 @@ let test_failures_not_cached () =
   | P.Failed { error; _ } ->
     Alcotest.(check bool) "unknown pipeline names the registry" true
       (contains error "unknown pipeline")
-  | P.Compiled _ -> Alcotest.fail "expected an unknown-pipeline failure"
+  | P.Compiled _ | P.Compiled_many _ ->
+    Alcotest.fail "expected an unknown-pipeline failure"
 
 let suite =
   [
